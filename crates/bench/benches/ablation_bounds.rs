@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * delay-bound versus preemption-bound schedule growth on the adversarial
+//!   `reorder_N` family (Example 2 of the paper);
+//! * the effect of the race-detection phase (racy-only visibility) versus
+//!   treating every shared access as a visible operation;
+//! * the interpreter's raw execution throughput (single round-robin run), the
+//!   quantity that bounds how far any technique can get within a budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_core::{explore, iterative_bounding, BoundKind, ExploreLimits, Technique};
+use sct_race::{race_detection_phase, RacePhaseConfig};
+use sct_runtime::ExecConfig;
+use sctbench::cs;
+use std::hint::black_box;
+
+fn bench_bound_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bound_growth");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let limits = ExploreLimits::with_schedule_limit(2_000);
+    for (name, program) in [
+        ("reorder_3", cs::reorder_3_bad()),
+        ("reorder_4", cs::reorder_4_bad()),
+        ("reorder_5", cs::reorder_5_bad()),
+    ] {
+        for (label, kind) in [("PB", BoundKind::Preemption), ("DB", BoundKind::Delay)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &kind, |b, kind| {
+                b.iter(|| {
+                    let stats =
+                        iterative_bounding(&program, &ExecConfig::all_visible(), *kind, &limits);
+                    black_box(stats.schedules)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_race_phase_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_race_phase");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let program = cs::stack_bad();
+    let report = race_detection_phase(
+        &program,
+        &RacePhaseConfig {
+            runs: 10,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let racy_only = ExecConfig::with_racy_locations(report.racy_locations());
+    let all_visible = ExecConfig::all_visible();
+    let limits = ExploreLimits::with_schedule_limit(500);
+    for (label, config) in [("racy_only", &racy_only), ("all_visible", &all_visible)] {
+        group.bench_with_input(
+            BenchmarkId::new("idb_stack_bad", label),
+            config,
+            |b, config| {
+                b.iter(|| {
+                    let stats = iterative_bounding(&program, config, BoundKind::Delay, &limits);
+                    black_box((stats.schedules, stats.found_bug()))
+                })
+            },
+        );
+    }
+    group.bench_function("race_detection_phase_10_runs", |b| {
+        b.iter(|| {
+            let report = race_detection_phase(
+                &program,
+                &RacePhaseConfig {
+                    runs: 10,
+                    seed: 4,
+                    ..Default::default()
+                },
+            );
+            black_box(report.races.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpreter_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interpreter_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, program) in [
+        ("din_phil5", cs::din_phil_sat_5()),
+        ("twostage_100", cs::twostage_100_bad()),
+    ] {
+        group.bench_function(format!("single_round_robin_execution/{name}"), |b| {
+            b.iter(|| {
+                let outcome =
+                    sct_runtime::run_once(&program, &ExecConfig::all_visible(), |point| {
+                        point.round_robin_choice()
+                    });
+                black_box(outcome.steps.len())
+            })
+        });
+    }
+    // A randomised run of a moderate benchmark, the unit of work behind the
+    // "10,000 schedules" budget.
+    let program = cs::wronglock_bad();
+    group.bench_function("random_100_schedules/wronglock", |b| {
+        b.iter(|| {
+            let stats = explore::run_technique(
+                &program,
+                &ExecConfig::all_visible(),
+                Technique::Random { seed: 8 },
+                &ExploreLimits::with_schedule_limit(100),
+            );
+            black_box(stats.buggy_schedules)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bound_growth,
+    bench_race_phase_ablation,
+    bench_interpreter_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 2 — bug-finding overlap of the techniques. Benchmarks the
+//! mini-study that produces the Venn counts (2a: IPB/IDB/DFS, 2b:
+//! IDB/Rand/MapleAlg) over a fixed subset of SCTBench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_harness::{fig2a, fig2b, pipeline::HarnessConfig, run_study};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_venn");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let config = HarnessConfig {
+        schedule_limit: 150,
+        race_runs: 3,
+        seed: 2,
+        use_race_phase: true,
+        include_pct: false,
+    };
+    group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
+        b.iter(|| {
+            let mut results = run_study(&config, Some("splash2"));
+            results
+                .benchmarks
+                .extend(run_study(&config, Some("CS.sync")).benchmarks);
+            black_box(results.benchmarks.len())
+        })
+    });
+    // Venn derivation itself, on precomputed results.
+    let mut results = run_study(&config, Some("splash2"));
+    results
+        .benchmarks
+        .extend(run_study(&config, Some("CS.din_phil")).benchmarks);
+    group.bench_function("derive_venn_counts", |b| {
+        b.iter(|| {
+            let a = fig2a(&results);
+            let bb = fig2b(&results);
+            black_box((a.total_a(), a.total_b(), bb.total_c()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

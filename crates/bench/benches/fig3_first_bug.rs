@@ -1,0 +1,32 @@
+//! Figure 3 — number of schedules to the first bug, IPB vs IDB. Benchmarks
+//! the bug-finding latency of the two bounding techniques on benchmarks where
+//! the paper reports a clear IDB advantage, i.e. the cost of producing one
+//! cross of the Figure 3 scatter plot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_bench::{bench_config, spec};
+use sct_core::{iterative_bounding, BoundKind, ExploreLimits};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_first_bug");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let limits = ExploreLimits::with_schedule_limit(2_000);
+    for name in ["CS.reorder_3_bad", "CS.wronglock_3_bad", "chess.WSQ"] {
+        let program = spec(name).program();
+        for (label, kind) in [("IPB", BoundKind::Preemption), ("IDB", BoundKind::Delay)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &kind, |b, kind| {
+                b.iter(|| {
+                    let stats = iterative_bounding(&program, &bench_config(), *kind, &limits);
+                    black_box(stats.schedules_to_first_bug)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

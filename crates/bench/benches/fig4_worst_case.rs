@@ -1,0 +1,35 @@
+//! Figure 4 — worst-case schedules to the bug (the number of non-buggy
+//! schedules within the bound that found it). Benchmarks the full exploration
+//! of the bound for IPB and IDB, which is exactly what the worst-case
+//! analysis requires: the search continues after the first bug until every
+//! schedule within the bound has been enumerated.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_bench::{bench_config, spec};
+use sct_core::{explore, BoundKind, ExploreLimits};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_worst_case");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let limits = ExploreLimits::with_schedule_limit(3_000);
+    for name in ["CS.account_bad", "CS.twostage_bad", "splash2.fft"] {
+        let program = spec(name).program();
+        for (label, kind) in [("IPB", BoundKind::Preemption), ("IDB", BoundKind::Delay)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &kind, |b, kind| {
+                b.iter(|| {
+                    // Enumerate everything within bound 1 — the worst-case
+                    // denominator of Figure 4 for benchmarks found at bound 1.
+                    let stats = explore::bounded_dfs(&program, &bench_config(), *kind, 1, &limits);
+                    black_box((stats.schedules, stats.buggy_schedules))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 1 — benchmark-suite overview. Benchmarks the registry construction
+//! (building all 52 IR programs) and the rendering of the overview table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_overview");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("build_all_52_benchmark_programs", |b| {
+        b.iter(|| {
+            let programs: Vec<_> = sctbench::all_benchmarks()
+                .iter()
+                .map(|spec| spec.program())
+                .collect();
+            black_box(programs.len())
+        })
+    });
+    group.bench_function("render_table1", |b| {
+        b.iter(|| black_box(sct_harness::table1().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 2 — "trivial benchmark" properties. Benchmarks the classification
+//! pipeline: running random scheduling on trivially buggy versus
+//! schedule-dependent benchmarks and deriving the Table 2 counters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_bench::{bench_config, spec};
+use sct_core::{explore, ExploreLimits, Technique};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_trivial");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    // A benchmark buggy on every schedule vs one needing a real interleaving:
+    // the per-schedule cost of classifying them with 100 random runs.
+    for name in ["CS.din_phil3_sat", "CS.stack_bad"] {
+        let program = spec(name).program();
+        group.bench_function(format!("random_100_runs/{name}"), |b| {
+            b.iter(|| {
+                let stats = explore::run_technique(
+                    &program,
+                    &bench_config(),
+                    Technique::Random { seed: 3 },
+                    &ExploreLimits::with_schedule_limit(100),
+                );
+                black_box(stats.buggy_fraction())
+            })
+        });
+    }
+    // Deriving the Table 2 counters from a pre-computed mini-study.
+    let config = sct_harness::pipeline::HarnessConfig {
+        schedule_limit: 100,
+        race_runs: 3,
+        seed: 1,
+        use_race_phase: true,
+        include_pct: false,
+    };
+    let results = sct_harness::run_study(&config, Some("splash2"));
+    group.bench_function("derive_table2_counters", |b| {
+        b.iter(|| black_box(sct_harness::table2(&results).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

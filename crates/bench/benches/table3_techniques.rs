@@ -1,0 +1,40 @@
+//! Table 3 — per-benchmark, per-technique exploration. Benchmarks every
+//! technique of the study (IPB, IDB, DFS, Rand, MapleAlg) on representative
+//! SCTBench entries at a reduced schedule limit, which is exactly the work
+//! that one cell block of Table 3 costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_bench::{bench_config, bench_limits, spec, study_techniques, REPRESENTATIVE};
+use sct_core::explore;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_techniques");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for name in REPRESENTATIVE {
+        let program = spec(name).program();
+        for (label, technique) in study_techniques() {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &technique,
+                |b, technique| {
+                    b.iter(|| {
+                        let stats = explore::run_technique(
+                            &program,
+                            &bench_config(),
+                            *technique,
+                            &bench_limits(),
+                        );
+                        black_box((stats.schedules, stats.found_bug()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

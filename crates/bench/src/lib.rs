@@ -1,0 +1,72 @@
+//! # sct-bench
+//!
+//! Criterion benchmark harness: one benchmark target per table/figure of the
+//! paper (see `benches/`). The targets measure the exploration throughput of
+//! each technique and regenerate the corresponding table/figure shape at a
+//! reduced schedule limit; the full-scale regeneration is done by the
+//! `sct-experiments` binary in `sct-harness`.
+//!
+//! This library crate only hosts small shared helpers for the bench targets.
+
+use sct_core::{ExploreLimits, Technique};
+use sct_runtime::ExecConfig;
+use sctbench::{benchmark_by_name, BenchmarkSpec};
+
+/// Benchmarks that are cheap enough for Criterion iteration counts while
+/// still exercising non-trivial schedule spaces.
+pub const REPRESENTATIVE: &[&str] = &[
+    "CS.account_bad",
+    "CS.reorder_3_bad",
+    "CS.stack_bad",
+    "chess.WSQ",
+    "splash2.lu",
+];
+
+/// Look up a representative benchmark (panics if the registry changed).
+pub fn spec(name: &str) -> BenchmarkSpec {
+    benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// The exploration configuration used by the bench targets.
+pub fn bench_config() -> ExecConfig {
+    ExecConfig::all_visible()
+}
+
+/// A small schedule limit so each Criterion sample stays in the millisecond
+/// range.
+pub fn bench_limits() -> ExploreLimits {
+    ExploreLimits::with_schedule_limit(200)
+}
+
+/// The five study techniques with fixed seeds (deterministic benches).
+pub fn study_techniques() -> Vec<(&'static str, Technique)> {
+    vec![
+        ("IPB", Technique::IterativePreemptionBounding),
+        ("IDB", Technique::IterativeDelayBounding),
+        ("DFS", Technique::Dfs),
+        ("Rand", Technique::Random { seed: 1 }),
+        (
+            "MapleAlg",
+            Technique::MapleLike {
+                profiling_runs: 10,
+                seed: 1,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_benchmarks_exist() {
+        for name in REPRESENTATIVE {
+            let s = spec(name);
+            assert_eq!(s.name, *name);
+        }
+        assert_eq!(study_techniques().len(), 5);
+        assert_eq!(bench_limits().schedule_limit, 200);
+        let _ = bench_config();
+    }
+}

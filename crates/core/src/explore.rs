@@ -1,0 +1,406 @@
+//! Exploration drivers: run a scheduling strategy against a program under a
+//! terminal-schedule limit and gather Table-3-style statistics.
+
+use crate::bounds::BoundKind;
+use crate::dfs::BoundedDfs;
+use crate::maple::MapleLikeScheduler;
+use crate::pct::PctScheduler;
+use crate::random::RandomScheduler;
+use crate::scheduler::Scheduler;
+use crate::stats::ExplorationStats;
+use sct_ir::Program;
+use sct_runtime::{ExecConfig, Execution, NoopObserver};
+
+/// Limits applied to an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of terminal schedules to explore (the study uses 10,000).
+    pub schedule_limit: u64,
+    /// Maximum bound tried by iterative bounding before giving up.
+    pub max_bound: u32,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            schedule_limit: 10_000,
+            max_bound: 64,
+        }
+    }
+}
+
+impl ExploreLimits {
+    /// Limits with the given schedule budget and the default maximum bound.
+    pub fn with_schedule_limit(schedule_limit: u64) -> Self {
+        ExploreLimits {
+            schedule_limit,
+            ..Default::default()
+        }
+    }
+}
+
+/// The techniques compared in the study (plus PCT as an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Unbounded depth-first search ("DFS").
+    Dfs,
+    /// Iterative preemption bounding ("IPB").
+    IterativePreemptionBounding,
+    /// Iterative delay bounding ("IDB").
+    IterativeDelayBounding,
+    /// Naive random scheduler ("Rand"); runs `schedule_limit` executions.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// PCT with bug-depth parameter `depth`; runs `schedule_limit` executions.
+    Pct {
+        /// Bug-depth parameter `d`.
+        depth: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Simplified Maple algorithm; terminates by its own heuristics.
+    MapleLike {
+        /// Number of profiling runs before the active phase.
+        profiling_runs: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Technique {
+    /// The study's label for this technique.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Dfs => "DFS",
+            Technique::IterativePreemptionBounding => "IPB",
+            Technique::IterativeDelayBounding => "IDB",
+            Technique::Random { .. } => "Rand",
+            Technique::Pct { .. } => "PCT",
+            Technique::MapleLike { .. } => "MapleAlg",
+        }
+    }
+
+    /// The five standard techniques of the study, in Table 3 column order.
+    pub fn study_suite(seed: u64) -> Vec<Technique> {
+        vec![
+            Technique::IterativePreemptionBounding,
+            Technique::IterativeDelayBounding,
+            Technique::Dfs,
+            Technique::Random { seed },
+            Technique::MapleLike {
+                profiling_runs: 10,
+                seed,
+            },
+        ]
+    }
+}
+
+/// Run `scheduler` against `program` until it stops or the schedule limit is
+/// reached.
+pub fn explore_with(
+    program: &Program,
+    config: &ExecConfig,
+    scheduler: &mut dyn Scheduler,
+    limits: &ExploreLimits,
+) -> ExplorationStats {
+    let mut stats = ExplorationStats::new(scheduler.name());
+    while stats.schedules < limits.schedule_limit && scheduler.begin_execution() {
+        let mut exec = Execution::new(program, config.clone());
+        let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
+        scheduler.end_execution(&outcome);
+        stats.record(&outcome);
+    }
+    stats.complete = scheduler.is_exhaustive();
+    stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit;
+    stats
+}
+
+/// Depth-first search bounded by `bound` under the given bound kind. The
+/// statistics' `final_bound` is set to `bound`.
+pub fn bounded_dfs(
+    program: &Program,
+    config: &ExecConfig,
+    kind: BoundKind,
+    bound: u32,
+    limits: &ExploreLimits,
+) -> ExplorationStats {
+    let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+    let mut stats = explore_with(program, config, &mut scheduler, limits);
+    stats.final_bound = Some(bound);
+    if stats.found_bug() {
+        stats.bound_of_first_bug = Some(bound);
+    }
+    stats
+}
+
+/// Iterative schedule bounding (§2, "Iterative schedule bounding"): explore
+/// all schedules with bound 0, then bound 1, and so on, until a bug is found
+/// (the current bound is still completed), the schedule limit is reached, or
+/// the whole schedule space has been covered.
+///
+/// Each iteration restarts the bounded DFS from scratch, so schedules with a
+/// cost below the current bound are re-explored; the `new_schedules_at_final_bound`
+/// statistic counts only the schedules whose cost equals the final bound,
+/// matching the "# new schedules" column of Table 3.
+pub fn iterative_bounding(
+    program: &Program,
+    config: &ExecConfig,
+    kind: BoundKind,
+    limits: &ExploreLimits,
+) -> ExplorationStats {
+    let label = match kind {
+        BoundKind::Preemption => "IPB",
+        BoundKind::Delay => "IDB",
+        BoundKind::None => "DFS",
+    };
+    let mut agg = ExplorationStats::new(label);
+    for bound in 0..=limits.max_bound {
+        let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+        let mut new_at_bound = 0u64;
+        while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
+            let mut exec = Execution::new(program, config.clone());
+            let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
+            scheduler.end_execution(&outcome);
+            let cost = match kind {
+                BoundKind::Preemption => outcome.preemption_count(),
+                BoundKind::Delay => outcome.delay_count(),
+                BoundKind::None => 0,
+            };
+            // Iteration `bound` only *counts* schedules whose cost is exactly
+            // `bound`: schedules with a smaller cost were already explored in
+            // an earlier iteration (the bounded DFS still has to execute them
+            // to reach the new ones, but they are neither re-counted nor
+            // re-checked, matching §2's description of iterative bounding).
+            if cost == bound || bound == 0 {
+                new_at_bound += 1;
+                agg.record(&outcome);
+            }
+        }
+        agg.final_bound = Some(bound);
+        agg.new_schedules_at_final_bound = new_at_bound;
+        if agg.found_bug() && agg.bound_of_first_bug.is_none() {
+            agg.bound_of_first_bug = Some(bound);
+        }
+        let finished_bound = scheduler.is_complete();
+        if agg.schedules >= limits.schedule_limit && !finished_bound {
+            agg.hit_schedule_limit = true;
+            break;
+        }
+        if agg.found_bug() {
+            // The paper completes the bound at which the bug was found (to
+            // enable the worst-case analysis of Figure 4) and then stops.
+            break;
+        }
+        if finished_bound && !scheduler.was_pruned() {
+            // Nothing was pruned: every terminal schedule has been explored.
+            agg.complete = true;
+            break;
+        }
+        if agg.schedules >= limits.schedule_limit {
+            agg.hit_schedule_limit = true;
+            break;
+        }
+    }
+    agg
+}
+
+/// Run one of the study's techniques with its standard configuration.
+pub fn run_technique(
+    program: &Program,
+    config: &ExecConfig,
+    technique: Technique,
+    limits: &ExploreLimits,
+) -> ExplorationStats {
+    match technique {
+        Technique::Dfs => {
+            let mut scheduler = BoundedDfs::unbounded();
+            explore_with(program, config, &mut scheduler, limits)
+        }
+        Technique::IterativePreemptionBounding => {
+            iterative_bounding(program, config, BoundKind::Preemption, limits)
+        }
+        Technique::IterativeDelayBounding => {
+            iterative_bounding(program, config, BoundKind::Delay, limits)
+        }
+        Technique::Random { seed } => {
+            let mut scheduler = RandomScheduler::new(limits.schedule_limit, seed);
+            explore_with(program, config, &mut scheduler, limits)
+        }
+        Technique::Pct { depth, seed } => {
+            let mut scheduler = PctScheduler::new(limits.schedule_limit, depth, seed);
+            explore_with(program, config, &mut scheduler, limits)
+        }
+        Technique::MapleLike {
+            profiling_runs,
+            seed,
+        } => {
+            let mut scheduler = MapleLikeScheduler::new(profiling_runs, seed);
+            explore_with(program, config, &mut scheduler, limits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::prelude::*;
+
+    /// Figure 1 of the paper: the bug needs one preemption (or one delay).
+    fn figure1() -> Program {
+        let mut p = ProgramBuilder::new("figure1");
+        let x = p.global("x", 0);
+        let y = p.global("y", 0);
+        let z = p.global("z", 0);
+        let t1 = p.thread("t1", |b| {
+            b.store(x, 1);
+            b.store(y, 1);
+        });
+        let t2 = p.thread("t2", |b| {
+            b.store(z, 1);
+        });
+        let t3 = p.thread("t3", |b| {
+            let rx = b.local("rx");
+            let ry = b.local("ry");
+            b.load(x, rx);
+            b.load(y, ry);
+            b.assert_cond(eq(rx, ry), "x == y");
+        });
+        p.main(|b| {
+            b.spawn(t1);
+            b.spawn(t2);
+            b.spawn(t3);
+        });
+        p.build().unwrap()
+    }
+
+    /// Example 2 of the paper: duplicate T1's statements in a second thread
+    /// so that delay bounding needs two delays while preemption bounding
+    /// still needs only one preemption.
+    fn figure1_adversarial() -> Program {
+        let mut p = ProgramBuilder::new("figure1-adversarial");
+        let x = p.global("x", 0);
+        let y = p.global("y", 0);
+        let writer = p.thread("writer", |b| {
+            b.store(x, 1);
+            b.store(y, 1);
+        });
+        let t3 = p.thread("t3", |b| {
+            let rx = b.local("rx");
+            let ry = b.local("ry");
+            b.load(x, rx);
+            b.load(y, ry);
+            b.assert_cond(eq(rx, ry), "x == y");
+        });
+        p.main(|b| {
+            b.spawn(writer);
+            b.spawn(writer);
+            b.spawn(t3);
+        });
+        p.build().unwrap()
+    }
+
+    fn config() -> ExecConfig {
+        ExecConfig::all_visible()
+    }
+
+    fn limits() -> ExploreLimits {
+        ExploreLimits::with_schedule_limit(10_000)
+    }
+
+    #[test]
+    fn iterative_delay_bounding_finds_figure1_at_bound_one() {
+        let stats = iterative_bounding(&figure1(), &config(), BoundKind::Delay, &limits());
+        assert!(stats.found_bug());
+        assert_eq!(stats.bound_of_first_bug, Some(1));
+        assert!(stats.new_schedules_at_final_bound > 0);
+        assert!(stats.buggy_schedules >= 1);
+    }
+
+    #[test]
+    fn iterative_preemption_bounding_finds_figure1_at_bound_one() {
+        let stats = iterative_bounding(&figure1(), &config(), BoundKind::Preemption, &limits());
+        assert!(stats.found_bug());
+        assert_eq!(stats.bound_of_first_bug, Some(1));
+    }
+
+    #[test]
+    fn dfs_also_finds_the_bug_eventually() {
+        let stats = run_technique(&figure1(), &config(), Technique::Dfs, &limits());
+        assert!(stats.found_bug());
+        assert!(stats.complete, "figure1's schedule space is small");
+    }
+
+    #[test]
+    fn random_finds_the_bug_within_the_budget() {
+        let stats = run_technique(
+            &figure1(),
+            &config(),
+            Technique::Random { seed: 1 },
+            &ExploreLimits::with_schedule_limit(2_000),
+        );
+        assert!(stats.found_bug());
+        assert!(stats.schedules <= 2_000);
+    }
+
+    #[test]
+    fn adversarial_example_needs_two_delays_but_one_preemption() {
+        // Example 2 (§2): the duplicated writer pushes the required delay
+        // bound to 2 while the preemption bound stays at 1.
+        let prog = figure1_adversarial();
+        let pb = iterative_bounding(&prog, &config(), BoundKind::Preemption, &limits());
+        let db = iterative_bounding(&prog, &config(), BoundKind::Delay, &limits());
+        assert_eq!(pb.bound_of_first_bug, Some(1));
+        assert_eq!(db.bound_of_first_bug, Some(2));
+    }
+
+    #[test]
+    fn technique_labels_and_suite() {
+        assert_eq!(Technique::Dfs.label(), "DFS");
+        assert_eq!(Technique::IterativeDelayBounding.label(), "IDB");
+        let suite = Technique::study_suite(3);
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].label(), "IPB");
+        assert_eq!(suite[4].label(), "MapleAlg");
+    }
+
+    #[test]
+    fn schedule_limit_is_respected() {
+        let stats = run_technique(
+            &figure1(),
+            &config(),
+            Technique::Random { seed: 9 },
+            &ExploreLimits::with_schedule_limit(17),
+        );
+        assert_eq!(stats.schedules, 17);
+        assert!(stats.hit_schedule_limit);
+    }
+
+    #[test]
+    fn iterative_bounding_reports_completion_on_tiny_programs() {
+        // A single-threaded program has exactly one schedule; bound 0 covers
+        // everything and the search reports completeness.
+        let mut p = ProgramBuilder::new("single");
+        let x = p.global("x", 0);
+        p.main(|b| {
+            b.store(x, 1);
+        });
+        let prog = p.build().unwrap();
+        let stats = iterative_bounding(&prog, &config(), BoundKind::Delay, &limits());
+        assert!(stats.complete);
+        assert!(!stats.found_bug());
+        assert_eq!(stats.schedules, 1);
+    }
+
+    #[test]
+    fn pct_with_depth_two_finds_the_single_preemption_bug() {
+        let stats = run_technique(
+            &figure1(),
+            &config(),
+            Technique::Pct { depth: 2, seed: 5 },
+            &ExploreLimits::with_schedule_limit(2_000),
+        );
+        assert!(stats.found_bug());
+    }
+}

@@ -1,0 +1,245 @@
+//! A simplified re-implementation of the *Maple algorithm* (Yu et al.,
+//! OOPSLA'12), the default non-systematic mode of the Maple tool which the
+//! study compares against as "MapleAlg".
+//!
+//! The real Maple records *interleaving idioms* (patterns of inter-thread
+//! dependencies through shared memory) during profiling runs and then
+//! performs active runs that try to force untested idioms. This stand-in
+//! keeps the same two-phase character with the simplest non-trivial idiom
+//! (idiom-1: an ordered pair of accesses to the same cell from two threads):
+//!
+//! 1. **profiling**: a handful of random executions record, for every shared
+//!    cell, the ordered pairs `(loc_a → loc_b)` of accesses from different
+//!    threads with at least one write;
+//! 2. **active**: for every pair observed in only one direction, one targeted
+//!    execution tries to force the *flipped* order by refusing to schedule the
+//!    thread that is about to perform the first-observed access until some
+//!    other thread has performed the other one.
+//!
+//! Like the original, the algorithm terminates on its own (when all candidate
+//! flips have been attempted) rather than at a schedule limit, and explores
+//! far fewer schedules than systematic techniques. It is a behavioural
+//! approximation, not a line-faithful port; see DESIGN.md.
+
+use crate::scheduler::Scheduler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sct_ir::Loc;
+use sct_runtime::{ExecutionOutcome, SchedulingPoint, ThreadId};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Profiling,
+    Active,
+    Done,
+}
+
+/// Simplified Maple-style idiom-driven scheduler.
+#[derive(Debug)]
+pub struct MapleLikeScheduler {
+    rng: SmallRng,
+    profiling_runs: u64,
+    profiling_done: u64,
+    phase: Phase,
+    /// Ordered pairs (first, second) of locations observed on the same cell
+    /// from different threads (at least one write).
+    observed: BTreeSet<(Loc, Loc)>,
+    /// Flipped pairs still to force.
+    candidates: Vec<(Loc, Loc)>,
+    /// The pair the current active run is trying to force (`want_first`
+    /// should execute before `want_second`).
+    target: Option<(Loc, Loc)>,
+    /// Whether `want_first` has executed yet in the current run.
+    first_done: bool,
+    /// Per-execution: last access (loc, thread) per cell.
+    last_access: HashMap<usize, (Loc, ThreadId, bool)>,
+    executions: u64,
+}
+
+impl MapleLikeScheduler {
+    /// Create the scheduler with the given number of profiling runs.
+    pub fn new(profiling_runs: u64, seed: u64) -> Self {
+        MapleLikeScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+            profiling_runs: profiling_runs.max(1),
+            profiling_done: 0,
+            phase: Phase::Profiling,
+            observed: BTreeSet::new(),
+            candidates: Vec::new(),
+            target: None,
+            first_done: false,
+            last_access: HashMap::new(),
+            executions: 0,
+        }
+    }
+
+    /// Number of executions performed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Number of candidate orderings still untested (available once the
+    /// profiling phase has ended).
+    pub fn remaining_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn note_access(&mut self, chosen: ThreadId, point: &SchedulingPoint) {
+        let Some(pending) = point.pending.iter().find(|p| p.thread == chosen) else {
+            return;
+        };
+        if self.target.is_some() && Some(pending.loc) == self.target.map(|t| t.0) {
+            self.first_done = true;
+        }
+        let Some(addr) = pending.addr else { return };
+        if let Some(&(prev_loc, prev_thread, prev_write)) = self.last_access.get(&addr) {
+            if prev_thread != chosen && (prev_write || pending.is_write) {
+                self.observed.insert((prev_loc, pending.loc));
+            }
+        }
+        self.last_access
+            .insert(addr, (pending.loc, chosen, pending.is_write));
+    }
+}
+
+impl Scheduler for MapleLikeScheduler {
+    fn begin_execution(&mut self) -> bool {
+        self.last_access.clear();
+        self.first_done = false;
+        match self.phase {
+            Phase::Profiling => {
+                if self.profiling_done < self.profiling_runs {
+                    self.profiling_done += 1;
+                    self.executions += 1;
+                    return true;
+                }
+                // Build the candidate list: flips not yet observed.
+                let flips: Vec<(Loc, Loc)> = self
+                    .observed
+                    .iter()
+                    .filter(|(a, b)| !self.observed.contains(&(*b, *a)))
+                    .map(|&(a, b)| (b, a))
+                    .collect();
+                self.candidates = flips;
+                self.phase = Phase::Active;
+                self.begin_execution()
+            }
+            Phase::Active => match self.candidates.pop() {
+                Some(target) => {
+                    self.target = Some(target);
+                    self.executions += 1;
+                    true
+                }
+                None => {
+                    self.phase = Phase::Done;
+                    false
+                }
+            },
+            Phase::Done => false,
+        }
+    }
+
+    fn choose(&mut self, point: &SchedulingPoint) -> ThreadId {
+        let chosen = match (self.phase, self.target, self.first_done) {
+            (Phase::Active, Some((_, second)), false) => {
+                // Avoid scheduling threads that are about to perform the
+                // access we want to come second.
+                let preferred: Vec<ThreadId> = point
+                    .pending
+                    .iter()
+                    .filter(|p| p.loc != second)
+                    .map(|p| p.thread)
+                    .collect();
+                if preferred.is_empty() {
+                    point.enabled[self.rng.gen_range(0..point.enabled.len())]
+                } else {
+                    preferred[self.rng.gen_range(0..preferred.len())]
+                }
+            }
+            _ => point.enabled[self.rng.gen_range(0..point.enabled.len())],
+        };
+        self.note_access(chosen, point);
+        chosen
+    }
+
+    fn end_execution(&mut self, _outcome: &ExecutionOutcome) {}
+
+    fn name(&self) -> String {
+        "MapleAlg".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_with, ExploreLimits};
+    use sct_ir::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    /// An order violation: the consumer asserts that it sees the producer's
+    /// write, which fails when the consumer runs first.
+    fn order_violation() -> Program {
+        let mut p = ProgramBuilder::new("order-violation");
+        let data = p.global("data", 0);
+        let producer = p.thread("producer", |b| {
+            b.store(data, 1);
+        });
+        let consumer = p.thread("consumer", |b| {
+            let r = b.local("r");
+            b.load(data, r);
+            b.assert_cond(eq(r, 1), "consumer saw producer's write");
+        });
+        p.main(|b| {
+            b.spawn(producer);
+            b.spawn(consumer);
+        });
+        p.build().unwrap()
+    }
+
+    #[test]
+    fn terminates_on_its_own_and_explores_few_schedules() {
+        let prog = order_violation();
+        let mut sched = MapleLikeScheduler::new(4, 3);
+        let stats = explore_with(
+            &prog,
+            &ExecConfig::all_visible(),
+            &mut sched,
+            &ExploreLimits::with_schedule_limit(10_000),
+        );
+        assert!(stats.schedules < 100, "MapleAlg should stop early");
+        assert!(!stats.hit_schedule_limit);
+        assert_eq!(sched.remaining_candidates(), 0);
+    }
+
+    #[test]
+    fn finds_an_order_violation_by_flipping_the_observed_order() {
+        // With enough profiling runs plus targeted flips the bug is exposed.
+        let prog = order_violation();
+        let mut sched = MapleLikeScheduler::new(6, 1);
+        let stats = explore_with(
+            &prog,
+            &ExecConfig::all_visible(),
+            &mut sched,
+            &ExploreLimits::with_schedule_limit(10_000),
+        );
+        assert!(
+            stats.found_bug(),
+            "expected the idiom scheduler to expose the order violation"
+        );
+    }
+
+    #[test]
+    fn name_and_execution_count_are_reported() {
+        let prog = order_violation();
+        let mut sched = MapleLikeScheduler::new(2, 9);
+        assert_eq!(sched.name(), "MapleAlg");
+        let _ = explore_with(
+            &prog,
+            &ExecConfig::all_visible(),
+            &mut sched,
+            &ExploreLimits::with_schedule_limit(10_000),
+        );
+        assert!(sched.executions() >= 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! The naive random scheduler ("Rand" in the study): at every scheduling
+//! point one enabled thread is chosen uniformly at random. Nothing is learned
+//! between executions, so the same schedule may be explored several times and
+//! the search never "completes" — exactly the behaviour §3 of the paper
+//! describes for Maple's random mode.
+
+use crate::scheduler::Scheduler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sct_runtime::{ExecutionOutcome, SchedulingPoint, ThreadId};
+
+/// Uniform random scheduling with a fixed number of runs.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: SmallRng,
+    runs: u64,
+    started: u64,
+}
+
+impl RandomScheduler {
+    /// A random scheduler that performs `runs` executions using `seed`.
+    pub fn new(runs: u64, seed: u64) -> Self {
+        RandomScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+            runs,
+            started: 0,
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn begin_execution(&mut self) -> bool {
+        if self.started >= self.runs {
+            return false;
+        }
+        self.started += 1;
+        true
+    }
+
+    fn choose(&mut self, point: &SchedulingPoint) -> ThreadId {
+        let idx = self.rng.gen_range(0..point.enabled.len());
+        point.enabled[idx]
+    }
+
+    fn end_execution(&mut self, _outcome: &ExecutionOutcome) {}
+
+    fn name(&self) -> String {
+        "Rand".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::{Loc, TemplateId};
+    use sct_runtime::PendingOp;
+
+    fn point(enabled: &[usize]) -> SchedulingPoint {
+        SchedulingPoint {
+            enabled: enabled.iter().map(|&i| ThreadId(i)).collect(),
+            last: None,
+            last_enabled: false,
+            num_threads: enabled.len(),
+            step_index: 0,
+            pending: enabled
+                .iter()
+                .map(|&i| PendingOp {
+                    thread: ThreadId(i),
+                    loc: Loc {
+                        template: TemplateId(0),
+                        pc: 0,
+                    },
+                    addr: None,
+                    is_write: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn respects_the_run_budget() {
+        let mut s = RandomScheduler::new(3, 42);
+        assert!(s.begin_execution());
+        assert!(s.begin_execution());
+        assert!(s.begin_execution());
+        assert!(!s.begin_execution());
+    }
+
+    #[test]
+    fn choices_are_always_enabled_and_eventually_cover_all_threads() {
+        let mut s = RandomScheduler::new(1, 7);
+        let p = point(&[1, 3, 5]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let t = s.choose(&p);
+            assert!(p.is_enabled(t));
+            seen.insert(t.index());
+        }
+        assert_eq!(seen.len(), 3, "uniform choice should hit every thread");
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_the_same_choices() {
+        let p = point(&[0, 1, 2, 3]);
+        let mut a = RandomScheduler::new(1, 99);
+        let mut b = RandomScheduler::new(1, 99);
+        let choices_a: Vec<_> = (0..50).map(|_| a.choose(&p)).collect();
+        let choices_b: Vec<_> = (0..50).map(|_| b.choose(&p)).collect();
+        assert_eq!(choices_a, choices_b);
+        assert_eq!(a.name(), "Rand");
+        assert!(!a.is_exhaustive());
+    }
+}

@@ -1,0 +1,79 @@
+//! The scheduler abstraction: a strategy that decides, execution by execution
+//! and scheduling point by scheduling point, which thread runs next.
+
+use sct_runtime::{ExecutionOutcome, SchedulingPoint, ThreadId};
+
+/// A scheduling strategy driven by the exploration loop in [`crate::explore`].
+///
+/// The contract is:
+///
+/// 1. the explorer calls [`Scheduler::begin_execution`]; a `false` return
+///    means the strategy has nothing left to explore and the loop stops;
+/// 2. during the execution, [`Scheduler::choose`] is called at every
+///    scheduling point and must return one of the *enabled* threads;
+/// 3. after the execution reaches a terminal state, the explorer calls
+///    [`Scheduler::end_execution`] with the outcome (the recorded schedule,
+///    bug information and statistics).
+///
+/// Systematic strategies (DFS, schedule bounding) use `end_execution` to
+/// backtrack; randomised strategies typically only count runs.
+pub trait Scheduler {
+    /// Prepare for the next execution; `false` ends the exploration.
+    fn begin_execution(&mut self) -> bool;
+
+    /// Pick the next thread among `point.enabled` (never empty).
+    fn choose(&mut self, point: &SchedulingPoint) -> ThreadId;
+
+    /// Observe the outcome of the execution just finished.
+    fn end_execution(&mut self, outcome: &ExecutionOutcome);
+
+    /// Human-readable name used in reports ("IPB", "IDB", "DFS", "Rand", ...).
+    fn name(&self) -> String;
+
+    /// Whether this strategy, once it stops, has *provably covered* its whole
+    /// search space (used to report exhaustive exploration in Table 3; random
+    /// strategies always return `false`).
+    fn is_exhaustive(&self) -> bool {
+        false
+    }
+}
+
+/// A trivial scheduler that always follows the non-preemptive round-robin
+/// deterministic scheduler and runs a single execution. This is the
+/// "0 delays / 0 preemptions" schedule that IPB, IDB and DFS all execute
+/// first; it is also handy in tests.
+#[derive(Debug, Default)]
+pub struct RoundRobinOnce {
+    ran: bool,
+}
+
+impl Scheduler for RoundRobinOnce {
+    fn begin_execution(&mut self) -> bool {
+        !std::mem::replace(&mut self.ran, true)
+    }
+
+    fn choose(&mut self, point: &SchedulingPoint) -> ThreadId {
+        point.round_robin_choice()
+    }
+
+    fn end_execution(&mut self, _outcome: &ExecutionOutcome) {}
+
+    fn name(&self) -> String {
+        "RoundRobin".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_once_runs_exactly_one_execution() {
+        let mut s = RoundRobinOnce::default();
+        assert!(s.begin_execution());
+        assert!(!s.begin_execution());
+        assert!(!s.begin_execution());
+        assert_eq!(s.name(), "RoundRobin");
+        assert!(!s.is_exhaustive());
+    }
+}

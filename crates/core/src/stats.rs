@@ -1,0 +1,172 @@
+//! Exploration statistics: the per-benchmark, per-technique numbers reported
+//! in Table 3 of the paper.
+
+use sct_runtime::{Bug, ExecutionOutcome};
+
+/// Statistics gathered while exploring one program with one technique.
+#[derive(Debug, Clone)]
+pub struct ExplorationStats {
+    /// Name of the technique ("IPB", "IDB", "DFS", "Rand", ...).
+    pub technique: String,
+    /// Number of terminal schedules explored.
+    pub schedules: u64,
+    /// Number of schedules explored up to and including the first buggy one.
+    pub schedules_to_first_bug: Option<u64>,
+    /// Number of buggy schedules among those explored.
+    pub buggy_schedules: u64,
+    /// Number of schedules whose cost equals the final bound ("# new
+    /// schedules" in Table 3). Only meaningful for iterative bounding.
+    pub new_schedules_at_final_bound: u64,
+    /// The bound in effect when exploration stopped (for bounded techniques).
+    pub final_bound: Option<u32>,
+    /// The smallest bound at which a bug was found (for iterative bounding).
+    pub bound_of_first_bug: Option<u32>,
+    /// The first bug found.
+    pub first_bug: Option<Bug>,
+    /// Maximum number of simultaneously enabled threads observed.
+    pub max_enabled_threads: usize,
+    /// Maximum number of scheduling points (with >1 enabled thread) observed
+    /// in a single execution.
+    pub max_scheduling_points: usize,
+    /// Maximum number of threads created in a single execution.
+    pub total_threads: usize,
+    /// Number of executions cut short by the step limit.
+    pub diverged_schedules: u64,
+    /// Whether the technique exhausted its entire search space.
+    pub complete: bool,
+    /// Whether exploration stopped because the schedule limit was reached.
+    pub hit_schedule_limit: bool,
+}
+
+impl ExplorationStats {
+    /// Fresh statistics for a technique.
+    pub fn new(technique: impl Into<String>) -> Self {
+        ExplorationStats {
+            technique: technique.into(),
+            schedules: 0,
+            schedules_to_first_bug: None,
+            buggy_schedules: 0,
+            new_schedules_at_final_bound: 0,
+            final_bound: None,
+            bound_of_first_bug: None,
+            first_bug: None,
+            max_enabled_threads: 0,
+            max_scheduling_points: 0,
+            total_threads: 0,
+            diverged_schedules: 0,
+            complete: false,
+            hit_schedule_limit: false,
+        }
+    }
+
+    /// Record the outcome of one terminal schedule.
+    pub fn record(&mut self, outcome: &ExecutionOutcome) {
+        self.schedules += 1;
+        self.max_enabled_threads = self.max_enabled_threads.max(outcome.max_enabled);
+        self.max_scheduling_points = self.max_scheduling_points.max(outcome.scheduling_points);
+        self.total_threads = self.total_threads.max(outcome.threads_created);
+        if outcome.diverged {
+            self.diverged_schedules += 1;
+        }
+        if outcome.is_buggy() {
+            self.buggy_schedules += 1;
+            if self.schedules_to_first_bug.is_none() {
+                self.schedules_to_first_bug = Some(self.schedules);
+                self.first_bug = outcome.bug.clone();
+            }
+        }
+    }
+
+    /// Whether at least one bug was found.
+    pub fn found_bug(&self) -> bool {
+        self.schedules_to_first_bug.is_some()
+    }
+
+    /// Fraction of explored schedules that were buggy (0.0 when none were
+    /// explored); the "% buggy" column of Table 3.
+    pub fn buggy_fraction(&self) -> f64 {
+        if self.schedules == 0 {
+            0.0
+        } else {
+            self.buggy_schedules as f64 / self.schedules as f64
+        }
+    }
+
+    /// Worst-case number of schedules that might be needed to find the bug
+    /// with an adversarial search order within the bound: the number of
+    /// non-buggy schedules explored (plus one for the bug itself). This is
+    /// the quantity plotted in Figure 4 of the paper.
+    pub fn worst_case_schedules_to_bug(&self) -> Option<u64> {
+        if self.found_bug() {
+            Some(self.schedules - self.buggy_schedules + 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_runtime::{Bug, StepRecord, ThreadId};
+
+    fn outcome(buggy: bool, diverged: bool) -> ExecutionOutcome {
+        ExecutionOutcome {
+            bug: if buggy {
+                Some(Bug::Deadlock { blocked: vec![] })
+            } else if diverged {
+                Some(Bug::StepLimitExceeded { limit: 1 })
+            } else {
+                None
+            },
+            steps: vec![StepRecord {
+                thread: ThreadId(0),
+                enabled: vec![ThreadId(0)],
+                last_enabled: false,
+                last: None,
+                num_threads: 1,
+            }],
+            threads_created: 3,
+            max_enabled: 2,
+            scheduling_points: 5,
+            diverged,
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn records_first_bug_position_and_counts() {
+        let mut s = ExplorationStats::new("test");
+        s.record(&outcome(false, false));
+        s.record(&outcome(false, false));
+        s.record(&outcome(true, false));
+        s.record(&outcome(true, false));
+        assert_eq!(s.schedules, 4);
+        assert_eq!(s.buggy_schedules, 2);
+        assert_eq!(s.schedules_to_first_bug, Some(3));
+        assert!(s.found_bug());
+        assert!((s.buggy_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(s.worst_case_schedules_to_bug(), Some(3));
+        assert_eq!(s.max_enabled_threads, 2);
+        assert_eq!(s.max_scheduling_points, 5);
+        assert_eq!(s.total_threads, 3);
+    }
+
+    #[test]
+    fn divergence_is_counted_but_not_a_bug() {
+        let mut s = ExplorationStats::new("test");
+        s.record(&outcome(false, true));
+        assert_eq!(s.diverged_schedules, 1);
+        assert!(!s.found_bug());
+        assert_eq!(s.worst_case_schedules_to_bug(), None);
+        assert_eq!(s.buggy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_have_sane_defaults() {
+        let s = ExplorationStats::new("x");
+        assert_eq!(s.schedules, 0);
+        assert_eq!(s.buggy_fraction(), 0.0);
+        assert!(!s.found_bug());
+    }
+}

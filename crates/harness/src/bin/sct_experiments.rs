@@ -1,0 +1,147 @@
+//! `sct-experiments` — run the full study (race detection + IPB/IDB/DFS/Rand/
+//! MapleAlg on every SCTBench benchmark) and write the tables, figure data
+//! and the EXPERIMENTS report to an output directory.
+//!
+//! ```text
+//! sct-experiments [--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR]
+//!                 [--no-race-phase] [--with-pct] [--out DIR]
+//! ```
+//!
+//! The paper's configuration is `--schedules 10000 --race-runs 10`; the
+//! default here is a laptop-friendly 2,000 schedules.
+
+use sct_harness::{
+    experiments_markdown, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1,
+    table2, table3, table3_csv,
+};
+use std::path::PathBuf;
+
+struct Args {
+    config: HarnessConfig,
+    filter: Option<String>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = HarnessConfig {
+        schedule_limit: 2_000,
+        ..Default::default()
+    };
+    let mut filter = None;
+    let mut out = PathBuf::from("experiments-out");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--schedules" => {
+                config.schedule_limit = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?;
+            }
+            "--race-runs" => {
+                config.race_runs = value("--race-runs")?
+                    .parse()
+                    .map_err(|e| format!("--race-runs: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--filter" => filter = Some(value("--filter")?),
+            "--no-race-phase" => config.use_race_phase = false,
+            "--with-pct" => config.include_pct = true,
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sct-experiments [--schedules N] [--race-runs N] [--seed N] \
+                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args { config, filter, out })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}",
+        args.config.schedule_limit, args.config.race_runs, args.config.seed, args.filter
+    );
+    let started = std::time::Instant::now();
+    let results = run_study(&args.config, args.filter.as_deref());
+    eprintln!(
+        "finished {} benchmarks in {:.1?}",
+        results.benchmarks.len(),
+        started.elapsed()
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create output directory {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    let write = |name: &str, contents: String| {
+        let path = args.out.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    };
+
+    write("table1.txt", table1());
+    write("table2.txt", table2(&results));
+    write("table3.txt", table3(&results));
+    write("table3.csv", table3_csv(&results));
+    write(
+        "fig2a.txt",
+        figures::venn_to_string(
+            "Figure 2a (systematic techniques)",
+            ["IPB", "IDB", "DFS"],
+            &fig2a(&results),
+        ),
+    );
+    write(
+        "fig2b.txt",
+        figures::venn_to_string(
+            "Figure 2b (IDB vs others)",
+            ["IDB", "Rand", "MapleAlg"],
+            &fig2b(&results),
+        ),
+    );
+    write("fig3.csv", figures::scatter_fig3(&results));
+    write("fig4.csv", figures::scatter_fig4(&results));
+    write("EXPERIMENTS.md", experiments_markdown(&results));
+
+    // Console summary.
+    println!("{}", table2(&results));
+    println!(
+        "{}",
+        figures::venn_to_string(
+            "Figure 2a (systematic techniques)",
+            ["IPB", "IDB", "DFS"],
+            &fig2a(&results)
+        )
+    );
+    println!(
+        "{}",
+        figures::venn_to_string(
+            "Figure 2b (IDB vs others)",
+            ["IDB", "Rand", "MapleAlg"],
+            &fig2b(&results)
+        )
+    );
+}

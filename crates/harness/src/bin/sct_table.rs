@@ -1,0 +1,85 @@
+//! `sct-table` — regenerate a single table or figure of the paper.
+//!
+//! ```text
+//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> [--schedules N] [--filter SUBSTR] [--seed N]
+//! ```
+//!
+//! `table1` is pure metadata and runs instantly; everything else runs the
+//! experiment pipeline (over the filtered subset, if `--filter` is given)
+//! before rendering.
+
+use sct_harness::{
+    fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(what) = args.next() else {
+        eprintln!(
+            "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> \
+             [--schedules N] [--filter SUBSTR] [--seed N]"
+        );
+        std::process::exit(2);
+    };
+
+    let mut config = HarnessConfig {
+        schedule_limit: 1_000,
+        ..Default::default()
+    };
+    let mut filter: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schedules" => {
+                config.schedule_limit = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.schedule_limit)
+            }
+            "--seed" => {
+                config.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(config.seed)
+            }
+            "--filter" => filter = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if what == "table1" {
+        print!("{}", table1());
+        return;
+    }
+
+    eprintln!(
+        "running the pipeline (schedule limit {}, filter {:?})...",
+        config.schedule_limit, filter
+    );
+    let results = run_study(&config, filter.as_deref());
+    match what.as_str() {
+        "table2" => print!("{}", table2(&results)),
+        "table3" => print!("{}", table3(&results)),
+        "fig2a" => print!(
+            "{}",
+            figures::venn_to_string(
+                "Figure 2a (systematic techniques)",
+                ["IPB", "IDB", "DFS"],
+                &fig2a(&results)
+            )
+        ),
+        "fig2b" => print!(
+            "{}",
+            figures::venn_to_string(
+                "Figure 2b (IDB vs others)",
+                ["IDB", "Rand", "MapleAlg"],
+                &fig2b(&results)
+            )
+        ),
+        "fig3" => print!("{}", figures::scatter_fig3(&results)),
+        "fig4" => print!("{}", figures::scatter_fig4(&results)),
+        other => {
+            eprintln!("unknown table/figure: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # sct-harness
+//!
+//! The experiment pipeline of the PPoPP'14 study, end to end: for every
+//! SCTBench benchmark it runs the race-detection phase (§5), then each of the
+//! techniques (IPB, IDB, DFS, Rand, MapleAlg — plus optionally PCT) under a
+//! terminal-schedule limit, and finally renders the paper's tables and
+//! figures from the collected statistics:
+//!
+//! * **Table 1** — benchmark-suite overview;
+//! * **Table 2** — "trivial benchmark" properties;
+//! * **Table 3** — the full per-benchmark, per-technique results table;
+//! * **Figure 2a/2b** — Venn-style bug-finding overlap counts;
+//! * **Figure 3** — schedules-to-first-bug scatter (IPB vs IDB);
+//! * **Figure 4** — worst-case (non-buggy schedules) scatter (IPB vs IDB).
+//!
+//! Two binaries drive it: `sct-experiments` runs the whole study and writes
+//! every artefact to an output directory; `sct-table` runs a single table or
+//! figure (optionally on a subset of benchmarks) and prints it.
+
+pub mod figures;
+pub mod pipeline;
+pub mod report;
+pub mod tables;
+
+pub use figures::{fig2a, fig2b, scatter_fig3, scatter_fig4, VennCounts};
+pub use pipeline::{run_benchmark, run_study, BenchmarkResult, HarnessConfig, StudyResults};
+pub use report::experiments_markdown;
+pub use tables::{table1, table2, table3, table3_csv};

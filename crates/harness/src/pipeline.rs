@@ -1,0 +1,250 @@
+//! The per-benchmark experiment pipeline and the whole-study driver.
+
+use sct_core::{explore, ExploreLimits, Technique};
+use sct_core::stats::ExplorationStats;
+use sct_race::{race_detection_phase, RacePhaseConfig};
+use sct_runtime::ExecConfig;
+use sctbench::{all_benchmarks, BenchmarkSpec};
+
+/// Configuration of a study run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Terminal-schedule limit per technique per benchmark (10,000 in the paper).
+    pub schedule_limit: u64,
+    /// Number of race-detection runs per benchmark (10 in the paper).
+    pub race_runs: usize,
+    /// Seed for every randomised component.
+    pub seed: u64,
+    /// Whether to run the race-detection phase and promote racy locations to
+    /// visible operations (as in the paper), or to treat *every* shared
+    /// access as visible (an ablation).
+    pub use_race_phase: bool,
+    /// Include PCT as an additional (non-paper) technique.
+    pub include_pct: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            schedule_limit: 10_000,
+            race_runs: 10,
+            seed: 0x5c7_bec4,
+            use_race_phase: true,
+            include_pct: false,
+        }
+    }
+}
+
+/// Result of running all techniques on one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Table 3 row id.
+    pub id: usize,
+    /// Benchmark name.
+    pub name: String,
+    /// Suite name.
+    pub suite: String,
+    /// Number of distinct races observed in the race-detection phase.
+    pub races: usize,
+    /// Number of static locations promoted to visible operations.
+    pub racy_locations: usize,
+    /// Statistics per technique, in the order they were run.
+    pub techniques: Vec<ExplorationStats>,
+    /// The paper's Table 3 numbers (for comparisons).
+    pub paper: sctbench::PaperRow,
+}
+
+impl BenchmarkResult {
+    /// Statistics for a technique by its label ("IPB", "IDB", "DFS", "Rand",
+    /// "MapleAlg", "PCT").
+    pub fn technique(&self, label: &str) -> Option<&ExplorationStats> {
+        self.techniques.iter().find(|t| t.technique == label)
+    }
+
+    /// Whether the named technique found the benchmark's bug.
+    pub fn found_by(&self, label: &str) -> bool {
+        self.technique(label).map(|t| t.found_bug()).unwrap_or(false)
+    }
+
+    /// Maximum observed value of the "# threads" column across techniques.
+    pub fn threads(&self) -> usize {
+        self.techniques.iter().map(|t| t.total_threads).max().unwrap_or(0)
+    }
+
+    /// Maximum observed "# max enabled threads".
+    pub fn max_enabled(&self) -> usize {
+        self.techniques
+            .iter()
+            .map(|t| t.max_enabled_threads)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum observed "# max scheduling points".
+    pub fn max_scheduling_points(&self) -> usize {
+        self.techniques
+            .iter()
+            .map(|t| t.max_scheduling_points)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Results for the whole study.
+#[derive(Debug, Clone, Default)]
+pub struct StudyResults {
+    /// One entry per benchmark, in Table 3 order.
+    pub benchmarks: Vec<BenchmarkResult>,
+    /// The configuration the study was run with.
+    pub schedule_limit: u64,
+}
+
+/// The techniques a study run uses, in Table 3 column order.
+pub fn study_techniques(config: &HarnessConfig) -> Vec<Technique> {
+    let mut ts = vec![
+        Technique::IterativePreemptionBounding,
+        Technique::IterativeDelayBounding,
+        Technique::Dfs,
+        Technique::Random { seed: config.seed },
+        Technique::MapleLike {
+            profiling_runs: 10,
+            seed: config.seed,
+        },
+    ];
+    if config.include_pct {
+        ts.push(Technique::Pct {
+            depth: 3,
+            seed: config.seed,
+        });
+    }
+    ts
+}
+
+/// Run the full pipeline (race detection + every technique) on a single
+/// benchmark.
+pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkResult {
+    let program = spec.program();
+
+    // Phase 1: data-race detection (§5 of the paper).
+    let race_config = RacePhaseConfig {
+        runs: config.race_runs,
+        seed: config.seed,
+        ..Default::default()
+    };
+    let report = race_detection_phase(&program, &race_config);
+    let racy = report.racy_locations();
+
+    // Phase 2: the exploration techniques, all sharing the same racy-location
+    // information (as the paper stresses, the race results are shared so the
+    // comparison between techniques is fair).
+    let exec_config = if config.use_race_phase {
+        ExecConfig::with_racy_locations(racy.iter().copied())
+    } else {
+        ExecConfig::all_visible()
+    };
+    let limits = ExploreLimits::with_schedule_limit(config.schedule_limit);
+    let techniques = study_techniques(config)
+        .into_iter()
+        .map(|t| {
+            let mut stats = explore::run_technique(&program, &exec_config, t, &limits);
+            stats.technique = t.label().to_string();
+            stats
+        })
+        .collect();
+
+    BenchmarkResult {
+        id: spec.id,
+        name: spec.name.to_string(),
+        suite: spec.suite.name().to_string(),
+        races: report.races.len(),
+        racy_locations: racy.len(),
+        techniques,
+        paper: spec.paper,
+    }
+}
+
+/// Run the whole study over all 52 benchmarks (or a filtered subset).
+pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
+    let mut results = StudyResults {
+        benchmarks: Vec::new(),
+        schedule_limit: config.schedule_limit,
+    };
+    for spec in all_benchmarks() {
+        if let Some(f) = filter {
+            if !spec.name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        results.benchmarks.push(run_benchmark(&spec, config));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sctbench::benchmark_by_name;
+
+    fn quick_config() -> HarnessConfig {
+        HarnessConfig {
+            schedule_limit: 200,
+            race_runs: 5,
+            seed: 7,
+            use_race_phase: true,
+            include_pct: false,
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_a_single_benchmark_end_to_end() {
+        let spec = benchmark_by_name("CS.account_bad").unwrap();
+        let result = run_benchmark(&spec, &quick_config());
+        assert_eq!(result.techniques.len(), 5);
+        assert_eq!(result.techniques[0].technique, "IPB");
+        assert_eq!(result.techniques[1].technique, "IDB");
+        // account_bad is race-free (every access is individually locked); its
+        // bug is an atomicity violation, so it must be found even when only
+        // synchronisation operations are scheduling points.
+        assert_eq!(result.racy_locations, 0);
+        assert!(result.found_by("IDB"), "IDB should find account_bad");
+        assert!(result.found_by("Rand"), "Rand should find account_bad");
+        assert!(result.threads() >= 4);
+    }
+
+    #[test]
+    fn race_phase_promotes_locations_for_racy_benchmarks() {
+        // stack_bad's popper reads shared state without the lock, so the
+        // race-detection phase must report races and promote locations.
+        let spec = benchmark_by_name("CS.stack_bad").unwrap();
+        let result = run_benchmark(&spec, &quick_config());
+        assert!(result.races > 0);
+        assert!(result.racy_locations > 0);
+        assert!(result.found_by("IDB"));
+    }
+
+    #[test]
+    fn race_phase_ablation_can_be_disabled() {
+        let spec = benchmark_by_name("CS.sync01_bad").unwrap();
+        let mut cfg = quick_config();
+        cfg.use_race_phase = false;
+        let result = run_benchmark(&spec, &cfg);
+        assert!(result.found_by("IDB"));
+    }
+
+    #[test]
+    fn study_filter_selects_benchmarks_by_substring() {
+        let results = run_study(&quick_config(), Some("splash2"));
+        assert_eq!(results.benchmarks.len(), 3);
+        assert!(results.benchmarks.iter().all(|b| b.name.starts_with("splash2")));
+    }
+
+    #[test]
+    fn pct_can_be_added_as_a_sixth_technique() {
+        let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
+        let mut cfg = quick_config();
+        cfg.include_pct = true;
+        let result = run_benchmark(&spec, &cfg);
+        assert_eq!(result.techniques.len(), 6);
+        assert!(result.technique("PCT").is_some());
+    }
+}

@@ -1,0 +1,237 @@
+//! Rendering of the paper's tables from study results.
+
+use crate::pipeline::StudyResults;
+use sctbench::{all_benchmarks, Suite};
+use std::fmt::Write as _;
+
+/// Table 1: an overview of the benchmark suites (suite, benchmark types,
+/// number used, number skipped and why). This table is pure metadata and does
+/// not require running any experiment.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let all = all_benchmarks();
+    let _ = writeln!(out, "Table 1: An overview of the benchmark suites used in the study.");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<62} {:>7}  {}",
+        "Benchmark set", "Benchmark types", "# used", "# skipped"
+    );
+    for suite in Suite::all() {
+        let used = all.iter().filter(|b| b.suite == suite).count();
+        let (skipped, reason) = suite.skipped();
+        let skipped_text = if skipped == 0 {
+            "0".to_string()
+        } else {
+            format!("{skipped} ({reason})")
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:<62} {:>7}  {}",
+            suite.name(),
+            suite.description(),
+            used,
+            skipped_text
+        );
+    }
+    out
+}
+
+/// Table 2: properties under which bug-finding is arguably trivial, with the
+/// number of benchmarks exhibiting each property (computed from the study
+/// results rather than copied from the paper).
+pub fn table2(results: &StudyResults) -> String {
+    let mut found_with_db0 = 0usize;
+    let mut fully_explored = 0usize;
+    let mut over_half_random_buggy = 0usize;
+    let mut all_random_buggy = 0usize;
+    for b in &results.benchmarks {
+        if let Some(idb) = b.technique("IDB") {
+            if idb.found_bug() && idb.bound_of_first_bug == Some(0) {
+                found_with_db0 += 1;
+            }
+        }
+        if let Some(dfs) = b.technique("DFS") {
+            if dfs.complete && dfs.schedules < results.schedule_limit {
+                fully_explored += 1;
+            }
+        }
+        if let Some(rand) = b.technique("Rand") {
+            if rand.buggy_fraction() > 0.5 {
+                over_half_random_buggy += 1;
+            }
+            if rand.schedules > 0 && rand.buggy_schedules == rand.schedules {
+                all_random_buggy += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Benchmarks where bug-finding is arguably trivial.");
+    let _ = writeln!(out, "{:<58} {:>12}", "Property", "# benchmarks");
+    let _ = writeln!(out, "{:<58} {:>12}", "Bug found with DB = 0", found_with_db0);
+    let _ = writeln!(
+        out,
+        "{:<58} {:>12}",
+        format!("Total terminal schedules < {}", results.schedule_limit),
+        fully_explored
+    );
+    let _ = writeln!(
+        out,
+        "{:<58} {:>12}",
+        "> 50% of random schedules were buggy", over_half_random_buggy
+    );
+    let _ = writeln!(
+        out,
+        "{:<58} {:>12}",
+        "Every random schedule was buggy", all_random_buggy
+    );
+    out
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+/// Table 3: the full per-benchmark results. One line per benchmark with the
+/// per-technique columns of the paper (bound, schedules to first bug, total
+/// schedules, new schedules at the bound, buggy schedules for IPB/IDB;
+/// schedules-to-first-bug and buggy counts for DFS/Rand; found?/schedules for
+/// MapleAlg).
+pub fn table3(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3: Experimental results (schedule limit {}).",
+        results.schedule_limit
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7}",
+        "benchmark", "thr", "en", "sp",
+        "PB", "first", "total", "new", "buggy",
+        "DB", "first", "total", "new", "buggy",
+        "first", "total", "buggy",
+        "first", "buggy",
+        "found", "scheds"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>3} {:>4} {:>6} | {:^35} | {:^35} | {:^22} | {:^14} | {:^13}",
+        "", "", "", "", "IPB", "IDB", "DFS", "Rand", "MapleAlg"
+    );
+    for b in &results.benchmarks {
+        let ipb = b.technique("IPB");
+        let idb = b.technique("IDB");
+        let dfs = b.technique("DFS");
+        let rand = b.technique("Rand");
+        let maple = b.technique("MapleAlg");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7}",
+            b.name,
+            b.threads(),
+            b.max_enabled(),
+            b.max_scheduling_points(),
+            ipb.map(|s| opt_u32(s.bound_of_first_bug.or(s.final_bound))).unwrap_or_default(),
+            ipb.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
+            ipb.map(|s| s.schedules.to_string()).unwrap_or_default(),
+            ipb.map(|s| s.new_schedules_at_final_bound.to_string()).unwrap_or_default(),
+            ipb.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
+            idb.map(|s| opt_u32(s.bound_of_first_bug.or(s.final_bound))).unwrap_or_default(),
+            idb.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
+            idb.map(|s| s.schedules.to_string()).unwrap_or_default(),
+            idb.map(|s| s.new_schedules_at_final_bound.to_string()).unwrap_or_default(),
+            idb.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
+            dfs.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
+            dfs.map(|s| s.schedules.to_string()).unwrap_or_default(),
+            dfs.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
+            rand.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
+            rand.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
+            maple.map(|s| if s.found_bug() { "yes" } else { "no" }.to_string()).unwrap_or_default(),
+            maple.map(|s| s.schedules.to_string()).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Table 3 as machine-readable CSV (one row per benchmark/technique pair).
+pub fn table3_csv(results: &StudyResults) -> String {
+    let mut out = String::from(
+        "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
+         bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,complete,hit_limit\n",
+    );
+    for b in &results.benchmarks {
+        for t in &b.techniques {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                b.id,
+                b.name,
+                b.suite,
+                t.technique,
+                t.total_threads,
+                t.max_enabled_threads,
+                t.max_scheduling_points,
+                b.races,
+                b.racy_locations,
+                opt_u32(t.bound_of_first_bug.or(t.final_bound)),
+                opt_u64(t.schedules_to_first_bug),
+                t.schedules,
+                t.new_schedules_at_final_bound,
+                t.buggy_schedules,
+                t.diverged_schedules,
+                t.complete,
+                t.hit_schedule_limit,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_study, HarnessConfig};
+
+    fn tiny_results() -> StudyResults {
+        let config = HarnessConfig {
+            schedule_limit: 100,
+            race_runs: 3,
+            seed: 1,
+            use_race_phase: true,
+            include_pct: false,
+        };
+        run_study(&config, Some("splash2"))
+    }
+
+    #[test]
+    fn table1_lists_every_suite_with_52_benchmarks_total() {
+        let t = table1();
+        for suite in ["CB", "CHESS", "CS", "Inspect", "PARSEC", "RADBenchmark", "SPLASH-2"] {
+            assert!(t.contains(suite), "missing {suite} in table 1:\n{t}");
+        }
+        // The "# used" column must sum to 52.
+        let total: usize = Suite::all()
+            .iter()
+            .map(|s| all_benchmarks().iter().filter(|b| b.suite == *s).count())
+            .sum();
+        assert_eq!(total, 52);
+    }
+
+    #[test]
+    fn table2_and_table3_render_from_results() {
+        let results = tiny_results();
+        let t2 = table2(&results);
+        assert!(t2.contains("Bug found with DB = 0"));
+        let t3 = table3(&results);
+        assert!(t3.contains("splash2.barnes"));
+        assert!(t3.contains("IPB"));
+        let csv = table3_csv(&results);
+        // Header plus 3 benchmarks x 5 techniques.
+        assert_eq!(csv.lines().count(), 1 + 3 * 5);
+        assert!(csv.lines().nth(1).unwrap().contains("splash2.barnes"));
+    }
+}

@@ -1,0 +1,683 @@
+//! Builder DSL for constructing programs.
+//!
+//! [`ProgramBuilder`] declares shared state and thread templates;
+//! [`BodyBuilder`] builds a thread body out of statements. The DSL is the
+//! surface most of `sctbench` is written against, so it favours terseness:
+//! most methods accept `impl Into<Expr>` / `impl Into<VarRef>` so literals,
+//! locals and indexed references can be passed directly.
+
+use crate::compile::compile_body;
+use crate::error::IrError;
+use crate::expr::Expr;
+use crate::program::{
+    BarrierDecl, BarrierId, CondvarDecl, CondvarId, GlobalDecl, LocalId, MutexDecl, MutexId,
+    Program, SemDecl, SemId, Template, TemplateId, VarId,
+};
+use crate::stmt::{BarrierRef, CondvarRef, MutexRef, RmwOp, SemRef, Stmt, VarRef};
+
+impl VarId {
+    /// Reference cell `index` of this (array) global.
+    pub fn at(self, index: impl Into<Expr>) -> VarRef {
+        VarRef::indexed(self, index)
+    }
+}
+
+impl MutexId {
+    /// Reference instance `index` of this (array) mutex declaration.
+    pub fn at(self, index: impl Into<Expr>) -> MutexRef {
+        MutexRef::indexed(self, index)
+    }
+}
+
+impl CondvarId {
+    /// Reference instance `index` of this (array) condvar declaration.
+    pub fn at(self, index: impl Into<Expr>) -> CondvarRef {
+        CondvarRef::indexed(self, index)
+    }
+}
+
+impl SemId {
+    /// Reference instance `index` of this (array) semaphore declaration.
+    pub fn at(self, index: impl Into<Expr>) -> SemRef {
+        SemRef::indexed(self, index)
+    }
+}
+
+impl BarrierId {
+    /// Reference instance `index` of this (array) barrier declaration.
+    pub fn at(self, index: impl Into<Expr>) -> BarrierRef {
+        BarrierRef::indexed(self, index)
+    }
+}
+
+/// Builds a [`Program`]: declares globals, synchronisation objects and thread
+/// templates.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    globals: Vec<GlobalDecl>,
+    mutexes: Vec<MutexDecl>,
+    condvars: Vec<CondvarDecl>,
+    sems: Vec<SemDecl>,
+    barriers: Vec<BarrierDecl>,
+    templates: Vec<(String, u32, Vec<Stmt>)>,
+    main: Option<TemplateId>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program with the given benchmark name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a scalar shared variable with an initial value.
+    pub fn global(&mut self, name: impl Into<String>, init: i64) -> VarId {
+        let id = VarId(self.globals.len() as u32);
+        self.globals.push(GlobalDecl {
+            name: name.into(),
+            len: 1,
+            init: vec![init],
+        });
+        id
+    }
+
+    /// Declare a shared array initialised with the given values.
+    pub fn global_array(&mut self, name: impl Into<String>, init: Vec<i64>) -> VarId {
+        let id = VarId(self.globals.len() as u32);
+        self.globals.push(GlobalDecl {
+            name: name.into(),
+            len: init.len() as u32,
+            init,
+        });
+        id
+    }
+
+    /// Declare a shared array of `len` zero-initialised cells.
+    pub fn global_array_zeroed(&mut self, name: impl Into<String>, len: usize) -> VarId {
+        self.global_array(name, vec![0; len])
+    }
+
+    /// Declare a single mutex.
+    pub fn mutex(&mut self, name: impl Into<String>) -> MutexId {
+        self.mutex_array(name, 1)
+    }
+
+    /// Declare an array of `len` mutexes.
+    pub fn mutex_array(&mut self, name: impl Into<String>, len: u32) -> MutexId {
+        let id = MutexId(self.mutexes.len() as u32);
+        self.mutexes.push(MutexDecl {
+            name: name.into(),
+            len,
+        });
+        id
+    }
+
+    /// Declare a single condition variable.
+    pub fn condvar(&mut self, name: impl Into<String>) -> CondvarId {
+        self.condvar_array(name, 1)
+    }
+
+    /// Declare an array of `len` condition variables.
+    pub fn condvar_array(&mut self, name: impl Into<String>, len: u32) -> CondvarId {
+        let id = CondvarId(self.condvars.len() as u32);
+        self.condvars.push(CondvarDecl {
+            name: name.into(),
+            len,
+        });
+        id
+    }
+
+    /// Declare a single counting semaphore with an initial count.
+    pub fn sem(&mut self, name: impl Into<String>, init: i64) -> SemId {
+        self.sem_array(name, 1, init)
+    }
+
+    /// Declare an array of `len` semaphores, each with initial count `init`.
+    pub fn sem_array(&mut self, name: impl Into<String>, len: u32, init: i64) -> SemId {
+        let id = SemId(self.sems.len() as u32);
+        self.sems.push(SemDecl {
+            name: name.into(),
+            len,
+            init,
+        });
+        id
+    }
+
+    /// Declare a barrier for `participants` threads.
+    pub fn barrier(&mut self, name: impl Into<String>, participants: u32) -> BarrierId {
+        let id = BarrierId(self.barriers.len() as u32);
+        self.barriers.push(BarrierDecl {
+            name: name.into(),
+            len: 1,
+            participants,
+        });
+        id
+    }
+
+    /// Define a thread template; the closure receives a [`BodyBuilder`].
+    pub fn thread(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> TemplateId {
+        let id = TemplateId(self.templates.len() as u32);
+        let mut body = BodyBuilder::new();
+        f(&mut body);
+        self.templates
+            .push((name.into(), body.next_local, body.stmts));
+        id
+    }
+
+    /// Define the main thread (the single thread that exists when execution
+    /// starts). Must be called exactly once before [`Self::build`].
+    pub fn main(&mut self, f: impl FnOnce(&mut BodyBuilder)) -> TemplateId {
+        let id = self.thread("main", f);
+        self.main = Some(id);
+        id
+    }
+
+    /// Compile all templates and produce the validated [`Program`].
+    pub fn build(self) -> Result<Program, IrError> {
+        let main = self.main.ok_or(IrError::MissingMain)?;
+        let templates = self
+            .templates
+            .into_iter()
+            .map(|(name, locals, stmts)| Template {
+                name,
+                locals,
+                body: compile_body(&stmts),
+            })
+            .collect();
+        let program = Program {
+            name: self.name,
+            globals: self.globals,
+            mutexes: self.mutexes,
+            condvars: self.condvars,
+            sems: self.sems,
+            barriers: self.barriers,
+            templates,
+            main,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Builds the body of a single thread template.
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    stmts: Vec<Stmt>,
+    next_local: u32,
+}
+
+impl BodyBuilder {
+    fn new() -> Self {
+        BodyBuilder::default()
+    }
+
+    fn nested(&self) -> Self {
+        BodyBuilder {
+            stmts: Vec::new(),
+            next_local: self.next_local,
+        }
+    }
+
+    /// Declare a fresh local slot (initialised to zero). The name is only for
+    /// readability at the call site.
+    pub fn local(&mut self, _name: &str) -> LocalId {
+        let id = LocalId(self.next_local);
+        self.next_local += 1;
+        id
+    }
+
+    /// Declare a local slot and immediately assign a constant to it.
+    pub fn local_init(&mut self, name: &str, value: impl Into<Expr>) -> LocalId {
+        let id = self.local(name);
+        self.assign(id, value);
+        id
+    }
+
+    // ----- shared memory -----
+
+    /// Non-atomic load of a shared cell into a local.
+    pub fn load(&mut self, var: impl Into<VarRef>, dst: LocalId) {
+        self.stmts.push(Stmt::Load {
+            var: var.into(),
+            dst,
+            atomic: false,
+        });
+    }
+
+    /// Non-atomic store of an expression to a shared cell.
+    pub fn store(&mut self, var: impl Into<VarRef>, value: impl Into<Expr>) {
+        self.stmts.push(Stmt::Store {
+            var: var.into(),
+            value: value.into(),
+            atomic: false,
+        });
+    }
+
+    /// Atomic (synchronising) load.
+    pub fn atomic_load(&mut self, var: impl Into<VarRef>, dst: LocalId) {
+        self.stmts.push(Stmt::Load {
+            var: var.into(),
+            dst,
+            atomic: true,
+        });
+    }
+
+    /// Atomic (synchronising) store.
+    pub fn atomic_store(&mut self, var: impl Into<VarRef>, value: impl Into<Expr>) {
+        self.stmts.push(Stmt::Store {
+            var: var.into(),
+            value: value.into(),
+            atomic: true,
+        });
+    }
+
+    /// Atomic fetch-and-add, discarding the old value.
+    pub fn fetch_add(&mut self, var: impl Into<VarRef>, operand: impl Into<Expr>) {
+        self.stmts.push(Stmt::Rmw {
+            var: var.into(),
+            op: RmwOp::Add,
+            operand: operand.into(),
+            dst_old: None,
+        });
+    }
+
+    /// Atomic fetch-and-add, storing the old value into `dst_old`.
+    pub fn fetch_add_into(
+        &mut self,
+        var: impl Into<VarRef>,
+        operand: impl Into<Expr>,
+        dst_old: LocalId,
+    ) {
+        self.stmts.push(Stmt::Rmw {
+            var: var.into(),
+            op: RmwOp::Add,
+            operand: operand.into(),
+            dst_old: Some(dst_old),
+        });
+    }
+
+    /// Atomic read-modify-write with an arbitrary operator.
+    pub fn rmw(
+        &mut self,
+        var: impl Into<VarRef>,
+        op: RmwOp,
+        operand: impl Into<Expr>,
+        dst_old: Option<LocalId>,
+    ) {
+        self.stmts.push(Stmt::Rmw {
+            var: var.into(),
+            op,
+            operand: operand.into(),
+            dst_old,
+        });
+    }
+
+    /// Atomic exchange, storing the old value into `dst_old`.
+    pub fn exchange(
+        &mut self,
+        var: impl Into<VarRef>,
+        value: impl Into<Expr>,
+        dst_old: LocalId,
+    ) {
+        self.rmw(var, RmwOp::Exchange, value, Some(dst_old));
+    }
+
+    /// Atomic compare-and-swap: 1 is written to `success` if the swap happened.
+    pub fn cas(
+        &mut self,
+        var: impl Into<VarRef>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+        success: LocalId,
+    ) {
+        self.stmts.push(Stmt::Cas {
+            var: var.into(),
+            expected: expected.into(),
+            new: new.into(),
+            dst_success: Some(success),
+            dst_old: None,
+        });
+    }
+
+    /// Atomic compare-and-swap capturing both the success flag and the old value.
+    pub fn cas_full(
+        &mut self,
+        var: impl Into<VarRef>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+        success: Option<LocalId>,
+        old: Option<LocalId>,
+    ) {
+        self.stmts.push(Stmt::Cas {
+            var: var.into(),
+            expected: expected.into(),
+            new: new.into(),
+            dst_success: success,
+            dst_old: old,
+        });
+    }
+
+    // ----- synchronisation -----
+
+    /// Acquire a mutex.
+    pub fn lock(&mut self, mutex: impl Into<MutexRef>) {
+        self.stmts.push(Stmt::Lock {
+            mutex: mutex.into(),
+        });
+    }
+
+    /// Release a mutex.
+    pub fn unlock(&mut self, mutex: impl Into<MutexRef>) {
+        self.stmts.push(Stmt::Unlock {
+            mutex: mutex.into(),
+        });
+    }
+
+    /// Destroy a mutex; later operations on it are bugs.
+    pub fn mutex_destroy(&mut self, mutex: impl Into<MutexRef>) {
+        self.stmts.push(Stmt::MutexDestroy {
+            mutex: mutex.into(),
+        });
+    }
+
+    /// Condition wait (`pthread_cond_wait` semantics).
+    pub fn wait(&mut self, condvar: impl Into<CondvarRef>, mutex: impl Into<MutexRef>) {
+        self.stmts.push(Stmt::Wait {
+            condvar: condvar.into(),
+            mutex: mutex.into(),
+        });
+    }
+
+    /// Wake one waiter on a condition variable.
+    pub fn signal(&mut self, condvar: impl Into<CondvarRef>) {
+        self.stmts.push(Stmt::Signal {
+            condvar: condvar.into(),
+        });
+    }
+
+    /// Wake all waiters on a condition variable.
+    pub fn broadcast(&mut self, condvar: impl Into<CondvarRef>) {
+        self.stmts.push(Stmt::Broadcast {
+            condvar: condvar.into(),
+        });
+    }
+
+    /// Semaphore down (blocks while the count is zero).
+    pub fn sem_wait(&mut self, sem: impl Into<SemRef>) {
+        self.stmts.push(Stmt::SemWait { sem: sem.into() });
+    }
+
+    /// Semaphore up.
+    pub fn sem_post(&mut self, sem: impl Into<SemRef>) {
+        self.stmts.push(Stmt::SemPost { sem: sem.into() });
+    }
+
+    /// Wait at a barrier.
+    pub fn barrier_wait(&mut self, barrier: impl Into<BarrierRef>) {
+        self.stmts.push(Stmt::BarrierWait {
+            barrier: barrier.into(),
+        });
+    }
+
+    /// Spawn a thread from a template, discarding its id.
+    pub fn spawn(&mut self, template: TemplateId) {
+        self.stmts.push(Stmt::Spawn {
+            template,
+            dst: None,
+        });
+    }
+
+    /// Spawn a thread from a template, storing the new thread id in `dst`.
+    pub fn spawn_into(&mut self, template: TemplateId, dst: LocalId) {
+        self.stmts.push(Stmt::Spawn {
+            template,
+            dst: Some(dst),
+        });
+    }
+
+    /// Join the thread whose id is the value of `thread`.
+    pub fn join(&mut self, thread: impl Into<Expr>) {
+        self.stmts.push(Stmt::Join {
+            thread: thread.into(),
+        });
+    }
+
+    /// Visible no-op scheduling point.
+    pub fn yield_(&mut self) {
+        self.stmts.push(Stmt::Yield);
+    }
+
+    // ----- local computation, assertions -----
+
+    /// Assign an expression to a local slot.
+    pub fn assign(&mut self, dst: LocalId, value: impl Into<Expr>) {
+        self.stmts.push(Stmt::Assign {
+            dst,
+            value: value.into(),
+        });
+    }
+
+    /// Assert a condition over locals.
+    pub fn assert_cond(&mut self, cond: impl Into<Expr>, msg: impl Into<String>) {
+        self.stmts.push(Stmt::Assert {
+            cond: cond.into(),
+            msg: msg.into(),
+        });
+    }
+
+    /// Unconditional failure; reaching this statement is a bug.
+    pub fn fail(&mut self, msg: impl Into<String>) {
+        self.stmts.push(Stmt::Fail { msg: msg.into() });
+    }
+
+    // ----- control flow -----
+
+    /// `if cond { ... }`
+    pub fn if_(&mut self, cond: impl Into<Expr>, then_f: impl FnOnce(&mut BodyBuilder)) {
+        let mut inner = self.nested();
+        then_f(&mut inner);
+        self.next_local = inner.next_local;
+        self.stmts.push(Stmt::If {
+            cond: cond.into(),
+            then_branch: inner.stmts,
+            else_branch: Vec::new(),
+        });
+    }
+
+    /// `if cond { ... } else { ... }`
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        then_f: impl FnOnce(&mut BodyBuilder),
+        else_f: impl FnOnce(&mut BodyBuilder),
+    ) {
+        let mut then_b = self.nested();
+        then_f(&mut then_b);
+        self.next_local = then_b.next_local;
+        let mut else_b = self.nested();
+        else_f(&mut else_b);
+        self.next_local = else_b.next_local;
+        self.stmts.push(Stmt::If {
+            cond: cond.into(),
+            then_branch: then_b.stmts,
+            else_branch: else_b.stmts,
+        });
+    }
+
+    /// `while cond { ... }`
+    pub fn while_(&mut self, cond: impl Into<Expr>, body_f: impl FnOnce(&mut BodyBuilder)) {
+        let mut inner = self.nested();
+        body_f(&mut inner);
+        self.next_local = inner.next_local;
+        self.stmts.push(Stmt::While {
+            cond: cond.into(),
+            body: inner.stmts,
+        });
+    }
+
+    /// Counted loop: declares a fresh counter local iterating `from..to`
+    /// (exclusive upper bound) and passes it to the body closure.
+    pub fn for_range(
+        &mut self,
+        name: &str,
+        from: impl Into<Expr>,
+        to: impl Into<Expr>,
+        body_f: impl FnOnce(&mut BodyBuilder, LocalId),
+    ) {
+        let counter = self.local(name);
+        self.assign(counter, from);
+        let to = to.into();
+        let mut inner = self.nested();
+        body_f(&mut inner, counter);
+        inner.assign(counter, crate::expr::add(counter, 1));
+        self.next_local = inner.next_local;
+        self.stmts.push(Stmt::While {
+            cond: crate::expr::lt(counter, to),
+            body: inner.stmts,
+        });
+    }
+
+    /// Push an arbitrary statement (escape hatch for tests and generators).
+    pub fn raw(&mut self, stmt: Stmt) {
+        self.stmts.push(stmt);
+    }
+
+    /// Statements built so far (used by tests).
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{eq, lt};
+    use crate::instr::{Instr, Op};
+
+    #[test]
+    fn build_requires_main() {
+        let p = ProgramBuilder::new("no-main");
+        assert!(matches!(p.build(), Err(IrError::MissingMain)));
+    }
+
+    #[test]
+    fn locals_are_counted_across_nested_blocks() {
+        let mut p = ProgramBuilder::new("locals");
+        p.main(|b| {
+            let a = b.local("a");
+            b.if_(eq(a, 0), |b| {
+                let c = b.local("c");
+                b.assign(c, 1);
+            });
+            let d = b.local("d");
+            b.assign(d, 2);
+        });
+        let prog = p.build().unwrap();
+        assert_eq!(prog.templates[0].locals, 3);
+    }
+
+    #[test]
+    fn for_range_compiles_to_a_bounded_loop() {
+        let mut p = ProgramBuilder::new("loop");
+        let x = p.global("x", 0);
+        p.main(|b| {
+            b.for_range("i", 0, 3, |b, _i| {
+                b.store(x, 1);
+            });
+        });
+        let prog = p.build().unwrap();
+        let body = &prog.templates[0].body;
+        // assign, branch, store, assign(incr), goto, halt
+        assert_eq!(body.len(), 6);
+        assert!(matches!(body[1], Instr::Branch { .. }));
+        assert!(matches!(body[4], Instr::Goto { .. }));
+    }
+
+    #[test]
+    fn dsl_helpers_produce_expected_ops() {
+        let mut p = ProgramBuilder::new("ops");
+        let x = p.global("x", 0);
+        let arr = p.global_array("arr", vec![0, 0, 0]);
+        let m = p.mutex("m");
+        let cv = p.condvar("cv");
+        let s = p.sem("s", 1);
+        let bar = p.barrier("bar", 2);
+        let t = p.thread("worker", |b| {
+            b.barrier_wait(bar);
+            b.sem_wait(s);
+            b.sem_post(s);
+        });
+        p.main(|b| {
+            let r = b.local("r");
+            let h = b.local("h");
+            b.lock(m);
+            b.load(x, r);
+            b.store(arr.at(1), 7);
+            b.atomic_store(x, 1);
+            b.fetch_add_into(x, 1, r);
+            b.cas(x, 2, 3, r);
+            b.wait(cv, m);
+            b.signal(cv);
+            b.broadcast(cv);
+            b.unlock(m);
+            b.spawn_into(t, h);
+            b.join(h);
+            b.yield_();
+            b.assert_cond(lt(r, 100), "r < 100");
+        });
+        let prog = p.build().unwrap();
+        assert!(prog.validate().is_ok());
+        let main = &prog.templates[prog.main.index()];
+        let mnemonics: Vec<&str> = main
+            .body
+            .iter()
+            .filter_map(|i| i.op().map(Op::mnemonic))
+            .collect();
+        assert_eq!(
+            mnemonics,
+            vec![
+                "lock", "load", "store", "store", "rmw", "cas", "wait", "signal", "broadcast",
+                "unlock", "spawn", "join", "yield", "assert"
+            ]
+        );
+    }
+
+    #[test]
+    fn indexed_references_carry_expressions() {
+        let mut p = ProgramBuilder::new("indexed");
+        let forks = p.mutex_array("forks", 5);
+        p.main(|b| {
+            let i = b.local("i");
+            b.lock(forks.at(i));
+            b.unlock(forks.at(i));
+        });
+        let prog = p.build().unwrap();
+        let main = &prog.templates[prog.main.index()];
+        match main.body[0].op().unwrap() {
+            Op::Lock { mutex } => assert!(mutex.index.is_some()),
+            other => panic!("expected lock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_init_assigns_before_use() {
+        let mut p = ProgramBuilder::new("local-init");
+        p.main(|b| {
+            let v = b.local_init("v", 41);
+            b.assert_cond(eq(v, 41), "init");
+        });
+        let prog = p.build().unwrap();
+        assert_eq!(prog.templates[0].locals, 1);
+        assert!(matches!(
+            prog.templates[0].body[0].op().unwrap(),
+            Op::Assign { .. }
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Lowering from structured statements to flat instructions.
+//!
+//! `If`/`While` are compiled to `Branch`/`Goto`; all other statements map to
+//! a single [`Instr::Op`]. The lowering is deterministic, so instruction
+//! indices (and therefore [`crate::instr::Loc`] values) are stable across
+//! runs — a property the race-detection pipeline relies on.
+
+use crate::instr::{Instr, Op};
+use crate::stmt::Stmt;
+
+/// Compile a structured statement block into a flat instruction sequence
+/// terminated by [`Instr::Halt`].
+pub fn compile_body(body: &[Stmt]) -> Vec<Instr> {
+    let mut out = Vec::new();
+    compile_block(body, &mut out);
+    out.push(Instr::Halt);
+    out
+}
+
+fn compile_block(block: &[Stmt], out: &mut Vec<Instr>) {
+    for stmt in block {
+        compile_stmt(stmt, out);
+    }
+}
+
+fn compile_stmt(stmt: &Stmt, out: &mut Vec<Instr>) {
+    match stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            // branch-if-zero over the then block (+ optional goto over else)
+            let branch_at = out.len();
+            out.push(Instr::Branch {
+                cond: cond.clone(),
+                target: usize::MAX, // patched below
+            });
+            compile_block(then_branch, out);
+            if else_branch.is_empty() {
+                let after = out.len();
+                patch_target(out, branch_at, after);
+            } else {
+                let goto_at = out.len();
+                out.push(Instr::Goto { target: usize::MAX });
+                let else_start = out.len();
+                patch_target(out, branch_at, else_start);
+                compile_block(else_branch, out);
+                let after = out.len();
+                patch_target(out, goto_at, after);
+            }
+        }
+        Stmt::While { cond, body } => {
+            let head = out.len();
+            out.push(Instr::Branch {
+                cond: cond.clone(),
+                target: usize::MAX,
+            });
+            compile_block(body, out);
+            out.push(Instr::Goto { target: head });
+            let after = out.len();
+            patch_target(out, head, after);
+        }
+        Stmt::Skip => {}
+        other => out.push(Instr::Op {
+            op: lower_simple(other),
+        }),
+    }
+}
+
+fn patch_target(out: &mut [Instr], at: usize, target: usize) {
+    match &mut out[at] {
+        Instr::Goto { target: t } | Instr::Branch { target: t, .. } => *t = target,
+        _ => unreachable!("patch target of a non-jump instruction"),
+    }
+}
+
+fn lower_simple(stmt: &Stmt) -> Op {
+    match stmt {
+        Stmt::Load { var, dst, atomic } => Op::Load {
+            var: var.clone(),
+            dst: *dst,
+            atomic: *atomic,
+        },
+        Stmt::Store { var, value, atomic } => Op::Store {
+            var: var.clone(),
+            value: value.clone(),
+            atomic: *atomic,
+        },
+        Stmt::Rmw {
+            var,
+            op,
+            operand,
+            dst_old,
+        } => Op::Rmw {
+            var: var.clone(),
+            op: *op,
+            operand: operand.clone(),
+            dst_old: *dst_old,
+        },
+        Stmt::Cas {
+            var,
+            expected,
+            new,
+            dst_success,
+            dst_old,
+        } => Op::Cas {
+            var: var.clone(),
+            expected: expected.clone(),
+            new: new.clone(),
+            dst_success: *dst_success,
+            dst_old: *dst_old,
+        },
+        Stmt::Lock { mutex } => Op::Lock {
+            mutex: mutex.clone(),
+        },
+        Stmt::Unlock { mutex } => Op::Unlock {
+            mutex: mutex.clone(),
+        },
+        Stmt::MutexDestroy { mutex } => Op::MutexDestroy {
+            mutex: mutex.clone(),
+        },
+        Stmt::Wait { condvar, mutex } => Op::Wait {
+            condvar: condvar.clone(),
+            mutex: mutex.clone(),
+        },
+        Stmt::Signal { condvar } => Op::Signal {
+            condvar: condvar.clone(),
+        },
+        Stmt::Broadcast { condvar } => Op::Broadcast {
+            condvar: condvar.clone(),
+        },
+        Stmt::SemWait { sem } => Op::SemWait { sem: sem.clone() },
+        Stmt::SemPost { sem } => Op::SemPost { sem: sem.clone() },
+        Stmt::BarrierWait { barrier } => Op::BarrierWait {
+            barrier: barrier.clone(),
+        },
+        Stmt::Spawn { template, dst } => Op::Spawn {
+            template: *template,
+            dst: *dst,
+        },
+        Stmt::Join { thread } => Op::Join {
+            thread: thread.clone(),
+        },
+        Stmt::Yield => Op::Yield,
+        Stmt::Assign { dst, value } => Op::Assign {
+            dst: *dst,
+            value: value.clone(),
+        },
+        Stmt::Assert { cond, msg } => Op::Assert {
+            cond: cond.clone(),
+            msg: msg.clone(),
+        },
+        Stmt::Fail { msg } => Op::Fail { msg: msg.clone() },
+        Stmt::If { .. } | Stmt::While { .. } | Stmt::Skip => {
+            unreachable!("control flow handled by compile_stmt")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{lt, Expr};
+    use crate::program::{LocalId, VarId};
+
+    fn assign(dst: u32, v: i64) -> Stmt {
+        Stmt::Assign {
+            dst: LocalId(dst),
+            value: Expr::Const(v),
+        }
+    }
+
+    #[test]
+    fn straight_line_code_appends_halt() {
+        let instrs = compile_body(&[assign(0, 1), Stmt::Yield]);
+        assert_eq!(instrs.len(), 3);
+        assert!(matches!(instrs[2], Instr::Halt));
+    }
+
+    #[test]
+    fn skip_compiles_to_nothing() {
+        let instrs = compile_body(&[Stmt::Skip, Stmt::Skip]);
+        assert_eq!(instrs, vec![Instr::Halt]);
+    }
+
+    #[test]
+    fn if_without_else_branches_past_then() {
+        let instrs = compile_body(&[Stmt::If {
+            cond: Expr::Local(LocalId(0)),
+            then_branch: vec![assign(1, 5)],
+            else_branch: vec![],
+        }]);
+        // branch, assign, halt
+        assert_eq!(instrs.len(), 3);
+        match &instrs[0] {
+            Instr::Branch { target, .. } => assert_eq!(*target, 2),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_else_skips_over_else_on_then_path() {
+        let instrs = compile_body(&[Stmt::If {
+            cond: Expr::Local(LocalId(0)),
+            then_branch: vec![assign(1, 1)],
+            else_branch: vec![assign(1, 2)],
+        }]);
+        // 0: branch(!cond -> 3), 1: assign then, 2: goto 4, 3: assign else, 4: halt
+        assert_eq!(instrs.len(), 5);
+        match &instrs[0] {
+            Instr::Branch { target, .. } => assert_eq!(*target, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        match &instrs[2] {
+            Instr::Goto { target } => assert_eq!(*target, 4),
+            other => panic!("expected goto, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loops_back_to_condition() {
+        let instrs = compile_body(&[Stmt::While {
+            cond: lt(LocalId(0), 3),
+            body: vec![assign(0, 1)],
+        }]);
+        // 0: branch(!cond -> 3), 1: assign, 2: goto 0, 3: halt
+        assert_eq!(instrs.len(), 4);
+        match &instrs[0] {
+            Instr::Branch { target, .. } => assert_eq!(*target, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        match &instrs[2] {
+            Instr::Goto { target } => assert_eq!(*target, 0),
+            other => panic!("expected goto, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_control_flow_compiles_consistently() {
+        let inner = Stmt::If {
+            cond: Expr::Local(LocalId(1)),
+            then_branch: vec![assign(2, 1)],
+            else_branch: vec![assign(2, 2)],
+        };
+        let instrs = compile_body(&[Stmt::While {
+            cond: lt(LocalId(0), 2),
+            body: vec![inner, assign(0, 1)],
+        }]);
+        // Every Goto/Branch target must be within bounds.
+        for i in &instrs {
+            match i {
+                Instr::Goto { target } | Instr::Branch { target, .. } => {
+                    assert!(*target <= instrs.len());
+                }
+                _ => {}
+            }
+        }
+        // Lowering memory ops preserves operands.
+        let instrs = compile_body(&[Stmt::Store {
+            var: VarId(0).into(),
+            value: Expr::Const(7),
+            atomic: false,
+        }]);
+        match instrs[0].op().unwrap() {
+            Op::Store { value, .. } => assert_eq!(value, &Expr::Const(7)),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+}

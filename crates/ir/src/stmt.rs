@@ -1,0 +1,235 @@
+//! Structured statements: the surface form produced by the builder DSL and
+//! lowered to flat instructions by [`crate::compile`].
+
+use crate::expr::Expr;
+use crate::program::{BarrierId, CondvarId, LocalId, MutexId, SemId, TemplateId, VarId};
+
+/// Reference to a shared variable cell: a declaration plus an optional index
+/// expression for array declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarRef {
+    /// The global declaration.
+    pub var: VarId,
+    /// Index into the declaration when it is an array; `None` addresses cell 0.
+    pub index: Option<Expr>,
+}
+
+impl VarRef {
+    /// Reference cell `index` of an array declaration.
+    pub fn indexed(var: VarId, index: impl Into<Expr>) -> Self {
+        VarRef {
+            var,
+            index: Some(index.into()),
+        }
+    }
+}
+
+impl From<VarId> for VarRef {
+    fn from(var: VarId) -> Self {
+        VarRef { var, index: None }
+    }
+}
+
+macro_rules! obj_ref {
+    ($(#[$meta:meta])* $name:ident, $id:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name {
+            /// The declaration being referenced.
+            pub base: $id,
+            /// Index when the declaration is an array; `None` addresses instance 0.
+            pub index: Option<Expr>,
+        }
+
+        impl $name {
+            /// Reference instance `index` of an array declaration.
+            pub fn indexed(base: $id, index: impl Into<Expr>) -> Self {
+                Self { base, index: Some(index.into()) }
+            }
+        }
+
+        impl From<$id> for $name {
+            fn from(base: $id) -> Self {
+                Self { base, index: None }
+            }
+        }
+    };
+}
+
+obj_ref!(
+    /// Reference to a mutex instance.
+    MutexRef,
+    MutexId
+);
+obj_ref!(
+    /// Reference to a condition-variable instance.
+    CondvarRef,
+    CondvarId
+);
+obj_ref!(
+    /// Reference to a semaphore instance.
+    SemRef,
+    SemId
+);
+obj_ref!(
+    /// Reference to a barrier instance.
+    BarrierRef,
+    BarrierId
+);
+
+/// Atomic read-modify-write operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `fetch_add`
+    Add,
+    /// `fetch_sub`
+    Sub,
+    /// `swap`
+    Exchange,
+    /// `fetch_max`
+    Max,
+    /// `fetch_min`
+    Min,
+}
+
+/// A structured statement. Control flow (`If`, `While`, `Loop`) nests blocks
+/// of statements; everything else is a straight-line operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Read a shared cell into a local slot.
+    Load {
+        var: VarRef,
+        dst: LocalId,
+        /// Atomic accesses synchronise (they are always visible and never race).
+        atomic: bool,
+    },
+    /// Write an expression to a shared cell.
+    Store {
+        var: VarRef,
+        value: Expr,
+        atomic: bool,
+    },
+    /// Atomic read-modify-write on a shared cell.
+    Rmw {
+        var: VarRef,
+        op: RmwOp,
+        operand: Expr,
+        /// Receives the *old* value when present.
+        dst_old: Option<LocalId>,
+    },
+    /// Atomic compare-and-swap on a shared cell.
+    Cas {
+        var: VarRef,
+        expected: Expr,
+        new: Expr,
+        /// Receives 1 on success and 0 on failure when present.
+        dst_success: Option<LocalId>,
+        /// Receives the value observed before the operation when present.
+        dst_old: Option<LocalId>,
+    },
+    /// Acquire a mutex (blocking).
+    Lock { mutex: MutexRef },
+    /// Release a mutex. Releasing a mutex the thread does not hold is a bug
+    /// reported by the runtime (this is how several RADBench models crash).
+    Unlock { mutex: MutexRef },
+    /// Destroy a mutex; any later operation on it is a bug.
+    MutexDestroy { mutex: MutexRef },
+    /// `pthread_cond_wait`: atomically release `mutex` and block on `condvar`,
+    /// re-acquiring `mutex` before returning.
+    Wait { condvar: CondvarRef, mutex: MutexRef },
+    /// Wake one waiter.
+    Signal { condvar: CondvarRef },
+    /// Wake all waiters.
+    Broadcast { condvar: CondvarRef },
+    /// Decrement a semaphore, blocking while its count is zero.
+    SemWait { sem: SemRef },
+    /// Increment a semaphore.
+    SemPost { sem: SemRef },
+    /// Wait at a barrier until `participants` threads have arrived.
+    BarrierWait { barrier: BarrierRef },
+    /// Create a new thread running `template`; the new thread id is stored in
+    /// `dst` when present.
+    Spawn {
+        template: TemplateId,
+        dst: Option<LocalId>,
+    },
+    /// Block until the thread whose id is the value of `thread` has finished.
+    Join { thread: Expr },
+    /// A visible no-op scheduling point (models `sched_yield`).
+    Yield,
+    /// Local assignment (invisible).
+    Assign { dst: LocalId, value: Expr },
+    /// Check a condition over locals; failure is a bug.
+    Assert { cond: Expr, msg: String },
+    /// Unconditional bug (models crashes such as out-of-bounds accesses or
+    /// double frees detected by the original benchmarks' harnesses).
+    Fail { msg: String },
+    /// Two-way conditional.
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// While loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// No operation (invisible); useful as a placeholder in generated code.
+    Skip,
+}
+
+impl Stmt {
+    /// True when this statement (ignoring nested blocks) can never be a
+    /// visible operation: it touches only thread-local state.
+    pub fn is_local_only(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Assign { .. } | Stmt::Assert { .. } | Stmt::Skip | Stmt::Fail { .. }
+        )
+    }
+
+    /// True for statements that carry nested blocks.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Stmt::If { .. } | Stmt::While { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::eq;
+
+    #[test]
+    fn var_ref_conversion() {
+        let r: VarRef = VarId(3).into();
+        assert_eq!(r.var, VarId(3));
+        assert!(r.index.is_none());
+        let r = VarRef::indexed(VarId(1), 4);
+        assert_eq!(r.index, Some(Expr::Const(4)));
+    }
+
+    #[test]
+    fn obj_ref_conversion() {
+        let m: MutexRef = MutexId(0).into();
+        assert!(m.index.is_none());
+        let m = MutexRef::indexed(MutexId(2), LocalId(0));
+        assert_eq!(m.base, MutexId(2));
+        assert!(m.index.is_some());
+    }
+
+    #[test]
+    fn statement_classification() {
+        assert!(Stmt::Skip.is_local_only());
+        assert!(Stmt::Assign {
+            dst: LocalId(0),
+            value: Expr::Const(1)
+        }
+        .is_local_only());
+        assert!(!Stmt::Yield.is_local_only());
+        assert!(Stmt::If {
+            cond: eq(1, 1),
+            then_branch: vec![],
+            else_branch: vec![]
+        }
+        .is_control_flow());
+        assert!(!Stmt::Yield.is_control_flow());
+    }
+}

@@ -1,0 +1,393 @@
+//! A happens-before data-race detector implemented as an execution observer.
+
+use crate::vector_clock::VectorClock;
+use sct_ir::Loc;
+use sct_runtime::{ExecObserver, SyncObjectId, ThreadId};
+use std::collections::{BTreeSet, HashMap};
+
+/// A race between two static locations on one shared cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReportedRace {
+    /// Flattened address of the cell the race is on.
+    pub addr: usize,
+    /// Location of the earlier access.
+    pub first: Loc,
+    /// Location of the later (racing) access.
+    pub second: Loc,
+    /// Whether the earlier access was a write.
+    pub first_is_write: bool,
+    /// Whether the later access was a write.
+    pub second_is_write: bool,
+}
+
+/// Aggregated result of one or more race-detection runs.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// All distinct races observed.
+    pub races: BTreeSet<ReportedRace>,
+    /// Number of executions that contributed to this report.
+    pub executions: usize,
+}
+
+impl RaceReport {
+    /// The set of static locations that participate in at least one race —
+    /// the set promoted to visible operations for systematic exploration.
+    pub fn racy_locations(&self) -> BTreeSet<Loc> {
+        let mut locs = BTreeSet::new();
+        for r in &self.races {
+            locs.insert(r.first);
+            locs.insert(r.second);
+        }
+        locs
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &RaceReport) {
+        self.races.extend(other.races.iter().copied());
+        self.executions += other.executions;
+    }
+
+    /// True when no race was observed.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LastAccess {
+    /// Vector clock of the access.
+    clock: VectorClock,
+    /// Thread that performed it.
+    thread: usize,
+    /// Static location of the access.
+    loc: Loc,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    /// Last write to the cell, if any.
+    last_write: Option<LastAccess>,
+    /// Last read per thread since the last write.
+    reads: Vec<LastAccess>,
+}
+
+/// FastTrack-style happens-before race detector.
+///
+/// Attach it to an [`sct_runtime::Execution`] via the observer parameter of
+/// `run`; races are accumulated in the detector and can be harvested with
+/// [`RaceDetector::into_report`] (or inspected with [`RaceDetector::report`]).
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    /// Per-thread clocks.
+    threads: Vec<VectorClock>,
+    /// Per-sync-object clocks.
+    objects: HashMap<SyncObjectId, VectorClock>,
+    /// Per-cell access metadata.
+    cells: HashMap<usize, CellState>,
+    /// Races found so far.
+    races: BTreeSet<ReportedRace>,
+}
+
+impl RaceDetector {
+    /// Create a detector for a fresh execution.
+    pub fn new() -> Self {
+        let mut d = RaceDetector::default();
+        // Thread 0 exists from the start.
+        d.thread_clock_mut(0).increment(0);
+        d
+    }
+
+    fn thread_clock_mut(&mut self, t: usize) -> &mut VectorClock {
+        if self.threads.len() <= t {
+            self.threads.resize_with(t + 1, VectorClock::new);
+        }
+        &mut self.threads[t]
+    }
+
+    fn thread_clock(&self, t: usize) -> VectorClock {
+        self.threads.get(t).cloned().unwrap_or_default()
+    }
+
+    /// Races found so far.
+    pub fn report(&self) -> RaceReport {
+        RaceReport {
+            races: self.races.clone(),
+            executions: 1,
+        }
+    }
+
+    /// Consume the detector, producing its report.
+    pub fn into_report(self) -> RaceReport {
+        RaceReport {
+            races: self.races,
+            executions: 1,
+        }
+    }
+
+    fn record_race(
+        &mut self,
+        addr: usize,
+        earlier: &LastAccess,
+        later_loc: Loc,
+        earlier_is_write: bool,
+        later_is_write: bool,
+    ) {
+        self.races.insert(ReportedRace {
+            addr,
+            first: earlier.loc,
+            second: later_loc,
+            first_is_write: earlier_is_write,
+            second_is_write: later_is_write,
+        });
+    }
+}
+
+impl ExecObserver for RaceDetector {
+    fn on_thread_created(&mut self, parent: ThreadId, child: ThreadId) {
+        // Everything the parent did so far happens-before the child's start.
+        let parent_clock = self.thread_clock(parent.index());
+        let child_clock = self.thread_clock_mut(child.index());
+        child_clock.join(&parent_clock);
+        child_clock.increment(child.index());
+        self.thread_clock_mut(parent.index()).increment(parent.index());
+    }
+
+    fn on_join(&mut self, joiner: ThreadId, joined: ThreadId) {
+        let joined_clock = self.thread_clock(joined.index());
+        self.thread_clock_mut(joiner.index()).join(&joined_clock);
+    }
+
+    fn on_acquire(&mut self, thread: ThreadId, object: SyncObjectId) {
+        if let Some(obj_clock) = self.objects.get(&object).cloned() {
+            self.thread_clock_mut(thread.index()).join(&obj_clock);
+        }
+    }
+
+    fn on_release(&mut self, thread: ThreadId, object: SyncObjectId) {
+        let t = thread.index();
+        self.thread_clock_mut(t).increment(t);
+        let clock = self.thread_clock(t);
+        self.objects
+            .entry(object)
+            .or_default()
+            .join(&clock);
+    }
+
+    fn on_access(&mut self, thread: ThreadId, loc: Loc, addr: usize, is_write: bool, atomic: bool) {
+        let t = thread.index();
+        let clock = self.thread_clock(t);
+        let cell = self.cells.entry(addr).or_default();
+
+        // Collect races first to placate the borrow checker, then record.
+        let mut found: Vec<(LastAccess, bool)> = Vec::new();
+        if !atomic {
+            if let Some(w) = &cell.last_write {
+                let unordered = w.thread != t && !w.clock.le(&clock);
+                if unordered {
+                    found.push((w.clone(), true));
+                }
+            }
+            if is_write {
+                for r in &cell.reads {
+                    let unordered = r.thread != t && !r.clock.le(&clock);
+                    if unordered {
+                        found.push((r.clone(), false));
+                    }
+                }
+            }
+        }
+
+        // Update cell metadata (atomics participate in the metadata so that
+        // ordering through them is tracked, but they never *report* races;
+        // the acquire/release events emitted by the runtime for atomics give
+        // the happens-before edges).
+        let access = LastAccess {
+            clock: clock.clone(),
+            thread: t,
+            loc,
+        };
+        if is_write {
+            cell.last_write = Some(access);
+            cell.reads.clear();
+        } else {
+            cell.reads.retain(|r| r.thread != t);
+            cell.reads.push(access);
+        }
+
+        for (earlier, earlier_is_write) in found {
+            self.record_race(addr, &earlier, loc, earlier_is_write, is_write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::prelude::*;
+    use sct_runtime::{ExecConfig, Execution, SchedulingPoint};
+
+    fn run_with_detector(program: &Program) -> RaceReport {
+        let mut detector = RaceDetector::new();
+        let mut exec = Execution::new(program, ExecConfig::all_visible());
+        let _ = exec.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut detector,
+        );
+        detector.into_report()
+    }
+
+    #[test]
+    fn unsynchronised_concurrent_writes_race() {
+        let mut p = ProgramBuilder::new("racy");
+        let x = p.global("x", 0);
+        let t = p.thread("t", |b| {
+            b.store(x, 1);
+        });
+        p.main(|b| {
+            b.spawn(t);
+            b.spawn(t);
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(!report.is_race_free());
+        assert!(!report.racy_locations().is_empty());
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let mut p = ProgramBuilder::new("locked");
+        let x = p.global("x", 0);
+        let m = p.mutex("m");
+        let t = p.thread("t", |b| {
+            let r = b.local("r");
+            b.lock(m);
+            b.load(x, r);
+            b.store(x, add(r, 1));
+            b.unlock(m);
+        });
+        p.main(|b| {
+            b.spawn(t);
+            b.spawn(t);
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+    }
+
+    #[test]
+    fn spawn_and_join_order_accesses() {
+        let mut p = ProgramBuilder::new("fork-join");
+        let x = p.global("x", 0);
+        let t = p.thread("t", |b| {
+            b.store(x, 1);
+        });
+        p.main(|b| {
+            b.store(x, 7); // before spawn: ordered by the spawn edge
+            let h = b.local("h");
+            b.spawn_into(t, h);
+            b.join(h);
+            let r = b.local("r");
+            b.load(x, r); // after join: ordered by the join edge
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+    }
+
+    #[test]
+    fn atomic_accesses_do_not_report_races() {
+        let mut p = ProgramBuilder::new("atomics");
+        let x = p.global("x", 0);
+        let t = p.thread("t", |b| {
+            b.fetch_add(x, 1);
+        });
+        p.main(|b| {
+            b.spawn(t);
+            b.spawn(t);
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+    }
+
+    #[test]
+    fn read_read_is_not_a_race_but_read_write_is() {
+        let mut p = ProgramBuilder::new("rw");
+        let x = p.global("x", 0);
+        let reader = p.thread("reader", |b| {
+            let r = b.local("r");
+            b.load(x, r);
+        });
+        p.main(|b| {
+            b.spawn(reader);
+            b.spawn(reader);
+        });
+        let prog = p.build().unwrap();
+        assert!(run_with_detector(&prog).is_race_free());
+
+        let mut p = ProgramBuilder::new("rw2");
+        let x = p.global("x", 0);
+        let reader = p.thread("reader", |b| {
+            let r = b.local("r");
+            b.load(x, r);
+        });
+        let writer = p.thread("writer", |b| {
+            b.store(x, 1);
+        });
+        p.main(|b| {
+            b.spawn(reader);
+            b.spawn(writer);
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(!report.is_race_free());
+        let race = report.races.iter().next().unwrap();
+        assert!(race.second_is_write || race.first_is_write);
+    }
+
+    #[test]
+    fn semaphore_edges_order_accesses() {
+        let mut p = ProgramBuilder::new("sem-hb");
+        let x = p.global("x", 0);
+        let s = p.sem("s", 0);
+        let producer = p.thread("producer", |b| {
+            b.store(x, 42);
+            b.sem_post(s);
+        });
+        let consumer = p.thread("consumer", |b| {
+            let r = b.local("r");
+            b.sem_wait(s);
+            b.load(x, r);
+        });
+        p.main(|b| {
+            b.spawn(producer);
+            b.spawn(consumer);
+        });
+        let prog = p.build().unwrap();
+        let report = run_with_detector(&prog);
+        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+    }
+
+    #[test]
+    fn report_merge_accumulates_races_and_counts() {
+        let mut a = RaceReport::default();
+        a.executions = 1;
+        let mut b = RaceReport::default();
+        b.executions = 2;
+        let loc = Loc {
+            template: sct_ir::TemplateId(0),
+            pc: 0,
+        };
+        b.races.insert(ReportedRace {
+            addr: 0,
+            first: loc,
+            second: loc,
+            first_is_write: true,
+            second_is_write: true,
+        });
+        a.merge(&b);
+        assert_eq!(a.executions, 3);
+        assert_eq!(a.races.len(), 1);
+        assert_eq!(a.racy_locations().len(), 1);
+    }
+}

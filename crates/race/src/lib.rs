@@ -1,0 +1,21 @@
+//! # sct-race
+//!
+//! Dynamic data-race detection for controlled executions, plus the
+//! *race-detection phase* of the PPoPP'14 study's experimental method (§5):
+//! before systematic exploration, each benchmark is executed a number of
+//! times under an uncontrolled (random) scheduler with a vector-clock race
+//! detector attached; every static location that participates in a race is
+//! then promoted to a *visible operation* for the systematic phases.
+//!
+//! The detector is a FastTrack-style happens-before detector: per-thread
+//! vector clocks, per-synchronisation-object clocks joined on acquire/release,
+//! and per-memory-cell read/write metadata. It has no false positives with
+//! respect to the happens-before relation of the observed execution.
+
+pub mod detector;
+pub mod phase;
+pub mod vector_clock;
+
+pub use detector::{RaceDetector, RaceReport, ReportedRace};
+pub use phase::{race_detection_phase, RacePhaseConfig};
+pub use vector_clock::VectorClock;

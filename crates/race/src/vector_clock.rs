@@ -1,0 +1,145 @@
+//! Vector clocks over dynamically created threads.
+
+use std::cmp::Ordering;
+
+/// A vector clock: component `i` is the number of increments observed from
+/// thread `i`. Clocks grow on demand as threads are created, so comparing
+/// clocks of different lengths treats missing components as zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Component for `thread` (zero when never incremented).
+    pub fn get(&self, thread: usize) -> u32 {
+        self.components.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Set component `thread` to `value`, growing the clock as needed.
+    pub fn set(&mut self, thread: usize, value: u32) {
+        if self.components.len() <= thread {
+            self.components.resize(thread + 1, 0);
+        }
+        self.components[thread] = value;
+    }
+
+    /// Increment the component of `thread` and return the new value.
+    pub fn increment(&mut self, thread: usize) -> u32 {
+        let v = self.get(thread) + 1;
+        self.set(thread, v);
+        v
+    }
+
+    /// Pointwise maximum with `other` (the join operation).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (i, &v) in other.components.iter().enumerate() {
+            if self.components[i] < v {
+                self.components[i] = v;
+            }
+        }
+    }
+
+    /// True when every component of `self` is ≤ the corresponding component
+    /// of `other`: the event summarised by `self` happens-before (or equals)
+    /// the one summarised by `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        let n = self.components.len().max(other.components.len());
+        (0..n).all(|i| self.get(i) <= other.get(i))
+    }
+
+    /// Partial-order comparison of clocks: `None` when the clocks are
+    /// concurrent (incomparable).
+    pub fn partial_cmp_clock(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Number of components stored (highest thread id seen plus one).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no component has ever been set.
+    pub fn is_empty(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_of_missing_component_is_zero() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(5), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn increment_and_set_grow_the_clock() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.increment(2), 1);
+        assert_eq!(c.increment(2), 2);
+        c.set(0, 7);
+        assert_eq!(c.get(0), 7);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 5);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn ordering_detects_concurrency() {
+        let mut a = VectorClock::new();
+        a.set(0, 2);
+        let mut b = VectorClock::new();
+        b.set(1, 3);
+        assert_eq!(a.partial_cmp_clock(&b), None);
+        let mut c = a.clone();
+        c.set(1, 4);
+        assert_eq!(a.partial_cmp_clock(&c), Some(Ordering::Less));
+        assert_eq!(c.partial_cmp_clock(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_clock(&a.clone()), Some(Ordering::Equal));
+        assert!(a.le(&c));
+        assert!(!c.le(&a));
+    }
+
+    #[test]
+    fn le_handles_different_lengths() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let b = VectorClock::new();
+        assert!(b.le(&a));
+        assert!(!a.le(&b));
+    }
+}

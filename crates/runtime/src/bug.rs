@@ -1,0 +1,174 @@
+//! Bug classification. The study counts deadlocks, crashes and assertion
+//! failures (including incorrect-output checks) as bugs; our runtime adds
+//! the memory-safety and synchronisation-misuse checks the paper discusses in
+//! §4.2 ("Memory safety", "Bugs may not be detected without additional
+//! checks").
+
+use crate::thread::ThreadId;
+use sct_ir::Loc;
+use std::fmt;
+
+/// A bug detected during execution. Detecting any bug makes the current
+/// schedule terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bug {
+    /// An `assert` statement evaluated to false.
+    AssertionFailure {
+        thread: ThreadId,
+        loc: Loc,
+        msg: String,
+    },
+    /// A `fail` statement was reached (models crashes / detected corruption).
+    ExplicitFailure {
+        thread: ThreadId,
+        loc: Loc,
+        msg: String,
+    },
+    /// No thread is enabled but at least one thread has not finished.
+    Deadlock { blocked: Vec<ThreadId> },
+    /// A thread released a mutex it did not hold (double unlock or unlock of
+    /// a never-acquired mutex).
+    UnlockNotHeld { thread: ThreadId, loc: Loc },
+    /// A mutex, or a condition wait's mutex, was used after being destroyed.
+    UseAfterDestroy { thread: ThreadId, loc: Loc },
+    /// A mutex was destroyed while held or while threads were waiting on it.
+    DestroyBusy { thread: ThreadId, loc: Loc },
+    /// An indexed access fell outside the bounds of its array declaration.
+    OutOfBounds {
+        thread: ThreadId,
+        loc: Loc,
+        index: i64,
+        len: u32,
+    },
+    /// `join` was called on a thread id that does not exist.
+    InvalidJoin { thread: ThreadId, loc: Loc, target: i64 },
+    /// `wait` was called on a mutex the thread does not hold.
+    WaitWithoutMutex { thread: ThreadId, loc: Loc },
+    /// The execution exceeded the configured step budget; with the
+    /// terminating benchmarks in SCTBench this indicates a livelock
+    /// (e.g. a spin loop whose exit flag is never set by the schedule).
+    StepLimitExceeded { limit: usize },
+}
+
+impl Bug {
+    /// Short machine-readable kind, used in experiment CSV output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Bug::AssertionFailure { .. } => "assert",
+            Bug::ExplicitFailure { .. } => "crash",
+            Bug::Deadlock { .. } => "deadlock",
+            Bug::UnlockNotHeld { .. } => "unlock-not-held",
+            Bug::UseAfterDestroy { .. } => "use-after-destroy",
+            Bug::DestroyBusy { .. } => "destroy-busy",
+            Bug::OutOfBounds { .. } => "out-of-bounds",
+            Bug::InvalidJoin { .. } => "invalid-join",
+            Bug::WaitWithoutMutex { .. } => "wait-without-mutex",
+            Bug::StepLimitExceeded { .. } => "step-limit",
+        }
+    }
+
+    /// Whether this bug should be counted as a concurrency bug for the
+    /// purposes of the study. Step-limit exhaustion is a divergence signal,
+    /// not a bug.
+    pub fn counts_as_bug(&self) -> bool {
+        !matches!(self, Bug::StepLimitExceeded { .. })
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bug::AssertionFailure { thread, loc, msg } => {
+                write!(f, "assertion failure in {thread} at {loc}: {msg}")
+            }
+            Bug::ExplicitFailure { thread, loc, msg } => {
+                write!(f, "failure in {thread} at {loc}: {msg}")
+            }
+            Bug::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked threads: ")?;
+                for (i, t) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Bug::UnlockNotHeld { thread, loc } => {
+                write!(f, "{thread} released a mutex it does not hold at {loc}")
+            }
+            Bug::UseAfterDestroy { thread, loc } => {
+                write!(f, "{thread} used a destroyed mutex at {loc}")
+            }
+            Bug::DestroyBusy { thread, loc } => {
+                write!(f, "{thread} destroyed a busy mutex at {loc}")
+            }
+            Bug::OutOfBounds {
+                thread,
+                loc,
+                index,
+                len,
+            } => write!(
+                f,
+                "{thread} accessed index {index} of an array of length {len} at {loc}"
+            ),
+            Bug::InvalidJoin { thread, loc, target } => {
+                write!(f, "{thread} joined non-existent thread {target} at {loc}")
+            }
+            Bug::WaitWithoutMutex { thread, loc } => {
+                write!(f, "{thread} waited on a condvar without holding the mutex at {loc}")
+            }
+            Bug::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded the step limit of {limit}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::TemplateId;
+
+    fn loc() -> Loc {
+        Loc {
+            template: TemplateId(0),
+            pc: 3,
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable_strings() {
+        let b = Bug::AssertionFailure {
+            thread: ThreadId(1),
+            loc: loc(),
+            msg: "x".into(),
+        };
+        assert_eq!(b.kind(), "assert");
+        assert!(b.counts_as_bug());
+        let d = Bug::Deadlock {
+            blocked: vec![ThreadId(0), ThreadId(1)],
+        };
+        assert_eq!(d.kind(), "deadlock");
+        let s = Bug::StepLimitExceeded { limit: 10 };
+        assert!(!s.counts_as_bug());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = Bug::OutOfBounds {
+            thread: ThreadId(2),
+            loc: loc(),
+            index: 9,
+            len: 4,
+        };
+        let text = b.to_string();
+        assert!(text.contains("t2"));
+        assert!(text.contains('9'));
+        assert!(text.contains('4'));
+        let d = Bug::Deadlock {
+            blocked: vec![ThreadId(0), ThreadId(3)],
+        };
+        assert!(d.to_string().contains("t0, t3"));
+    }
+}

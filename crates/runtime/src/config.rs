@@ -1,0 +1,136 @@
+//! Execution configuration: which memory accesses are visible operations and
+//! how long an execution may run.
+
+use sct_ir::Loc;
+use std::collections::HashSet;
+
+/// Which shared-memory accesses are treated as visible operations (and hence
+/// produce scheduling points). Synchronisation operations and atomic accesses
+/// are always visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisibilityMode {
+    /// Only synchronisation operations and atomics are visible. This mirrors
+    /// testing a data-race-free program, where it is sound to schedule only
+    /// at synchronisation operations (§5 of the paper).
+    SyncOnly,
+    /// Every shared-memory access is a visible operation. Used by the
+    /// race-detection phase and available for exhaustive exploration of very
+    /// small programs.
+    AllSharedAccesses,
+    /// Synchronisation operations, atomics, and non-atomic accesses whose
+    /// static location was identified as racy by the race-detection phase.
+    /// This is the configuration used for the study's SCT phases.
+    RacyOnly(HashSet<Loc>),
+}
+
+impl Default for VisibilityMode {
+    fn default() -> Self {
+        VisibilityMode::RacyOnly(HashSet::new())
+    }
+}
+
+impl VisibilityMode {
+    /// Construct the study configuration from a set of racy locations.
+    pub fn racy(locs: impl IntoIterator<Item = Loc>) -> Self {
+        VisibilityMode::RacyOnly(locs.into_iter().collect())
+    }
+
+    /// Whether a non-atomic memory access at `loc` is visible under this mode.
+    pub fn data_access_visible(&self, loc: Loc) -> bool {
+        match self {
+            VisibilityMode::SyncOnly => false,
+            VisibilityMode::AllSharedAccesses => true,
+            VisibilityMode::RacyOnly(set) => set.contains(&loc),
+        }
+    }
+}
+
+/// Execution limits and visibility configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Visibility of shared-memory accesses.
+    pub visibility: VisibilityMode,
+    /// Maximum number of steps (visible operations) per execution. Exceeding
+    /// this limit terminates the execution with [`crate::Bug::StepLimitExceeded`],
+    /// which is reported as a divergence rather than a bug.
+    pub max_steps: usize,
+    /// Maximum number of consecutive invisible instructions executed within a
+    /// single step; exceeding it indicates a local infinite loop in the
+    /// program under test (a modelling error, reported as divergence).
+    pub max_invisible_ops_per_step: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            visibility: VisibilityMode::default(),
+            max_steps: 20_000,
+            max_invisible_ops_per_step: 100_000,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Configuration with every shared access visible (race-detection phase).
+    pub fn all_visible() -> Self {
+        ExecConfig {
+            visibility: VisibilityMode::AllSharedAccesses,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration scheduling only at synchronisation operations.
+    pub fn sync_only() -> Self {
+        ExecConfig {
+            visibility: VisibilityMode::SyncOnly,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with the given racy locations promoted to visible ops.
+    pub fn with_racy_locations(locs: impl IntoIterator<Item = Loc>) -> Self {
+        ExecConfig {
+            visibility: VisibilityMode::racy(locs),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::TemplateId;
+
+    fn loc(t: u32, pc: u32) -> Loc {
+        Loc {
+            template: TemplateId(t),
+            pc,
+        }
+    }
+
+    #[test]
+    fn default_is_racy_only_with_empty_set() {
+        let cfg = ExecConfig::default();
+        assert!(!cfg.visibility.data_access_visible(loc(0, 0)));
+    }
+
+    #[test]
+    fn visibility_modes_classify_data_accesses() {
+        assert!(!VisibilityMode::SyncOnly.data_access_visible(loc(0, 1)));
+        assert!(VisibilityMode::AllSharedAccesses.data_access_visible(loc(0, 1)));
+        let racy = VisibilityMode::racy([loc(1, 5)]);
+        assert!(racy.data_access_visible(loc(1, 5)));
+        assert!(!racy.data_access_visible(loc(1, 6)));
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert_eq!(
+            ExecConfig::all_visible().visibility,
+            VisibilityMode::AllSharedAccesses
+        );
+        assert_eq!(ExecConfig::sync_only().visibility, VisibilityMode::SyncOnly);
+        let cfg = ExecConfig::with_racy_locations([loc(0, 2)]);
+        assert!(cfg.visibility.data_access_visible(loc(0, 2)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Runtime state of synchronisation objects.
+
+use crate::thread::ThreadId;
+use std::collections::VecDeque;
+
+/// State of a single mutex instance.
+#[derive(Debug, Clone, Default)]
+pub struct MutexState {
+    /// Current owner, if held.
+    pub owner: Option<ThreadId>,
+    /// Whether the mutex has been destroyed; any further use is a bug.
+    pub destroyed: bool,
+}
+
+impl MutexState {
+    /// True when the mutex can be acquired.
+    pub fn is_free(&self) -> bool {
+        self.owner.is_none()
+    }
+}
+
+/// State of a single condition-variable instance.
+#[derive(Debug, Clone, Default)]
+pub struct CondvarState {
+    /// Threads currently blocked in `wait`, in arrival (FIFO) order.
+    ///
+    /// FIFO wake-up keeps the runtime deterministic: `signal` always wakes
+    /// the longest waiting thread. Nondeterminism in wake-up order is instead
+    /// explored through scheduling of the woken threads' re-acquisitions.
+    pub waiters: VecDeque<ThreadId>,
+}
+
+/// State of a single counting semaphore instance.
+#[derive(Debug, Clone, Default)]
+pub struct SemState {
+    /// Current count; `sem_wait` blocks while this is zero.
+    pub count: i64,
+}
+
+/// State of a single barrier instance.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierState {
+    /// Threads currently blocked at the barrier.
+    pub waiting: Vec<ThreadId>,
+    /// Number of participants required to release the barrier.
+    pub participants: u32,
+    /// Number of times the barrier has released (generation counter).
+    pub generation: u64,
+}
+
+impl BarrierState {
+    /// True when one more arrival will release the barrier.
+    pub fn is_last_arrival(&self) -> bool {
+        (self.waiting.len() + 1) as u32 >= self.participants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_free_until_owned() {
+        let mut m = MutexState::default();
+        assert!(m.is_free());
+        m.owner = Some(ThreadId(2));
+        assert!(!m.is_free());
+    }
+
+    #[test]
+    fn barrier_last_arrival_accounting() {
+        let mut b = BarrierState {
+            participants: 3,
+            ..Default::default()
+        };
+        assert!(!b.is_last_arrival());
+        b.waiting.push(ThreadId(1));
+        assert!(!b.is_last_arrival());
+        b.waiting.push(ThreadId(2));
+        assert!(b.is_last_arrival());
+    }
+
+    #[test]
+    fn condvar_waiters_are_fifo() {
+        let mut cv = CondvarState::default();
+        cv.waiters.push_back(ThreadId(1));
+        cv.waiters.push_back(ThreadId(2));
+        assert_eq!(cv.waiters.pop_front(), Some(ThreadId(1)));
+        assert_eq!(cv.waiters.pop_front(), Some(ThreadId(2)));
+    }
+}

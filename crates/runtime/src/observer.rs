@@ -1,0 +1,165 @@
+//! Execution observers: hooks through which analyses (notably the dynamic
+//! data-race detector in `sct-race`) watch an execution without being coupled
+//! to the interpreter.
+
+use crate::thread::ThreadId;
+use sct_ir::Loc;
+
+/// Identity of a synchronisation object for happens-before purposes.
+///
+/// Atomic memory cells are included because sequentially consistent atomics
+/// order accesses to the same cell, which is exactly the edge a race detector
+/// needs to avoid reporting races between atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncObjectId {
+    /// A mutex instance (flattened index).
+    Mutex(usize),
+    /// A condition-variable instance.
+    Condvar(usize),
+    /// A semaphore instance.
+    Sem(usize),
+    /// A barrier instance.
+    Barrier(usize),
+    /// An atomic memory cell (flattened global cell index).
+    AtomicCell(usize),
+}
+
+/// Observer of runtime events. All methods have default empty implementations
+/// so observers only override what they need.
+pub trait ExecObserver {
+    /// A new thread `child` was created by `parent`.
+    fn on_thread_created(&mut self, parent: ThreadId, child: ThreadId) {
+        let _ = (parent, child);
+    }
+    /// Thread `thread` finished executing.
+    fn on_thread_finished(&mut self, thread: ThreadId) {
+        let _ = thread;
+    }
+    /// Thread `joiner` observed the termination of `joined`.
+    fn on_join(&mut self, joiner: ThreadId, joined: ThreadId) {
+        let _ = (joiner, joined);
+    }
+    /// Thread `thread` performed an acquire-style operation on `object`
+    /// (mutex lock, semaphore wait, barrier exit, atomic access).
+    fn on_acquire(&mut self, thread: ThreadId, object: SyncObjectId) {
+        let _ = (thread, object);
+    }
+    /// Thread `thread` performed a release-style operation on `object`
+    /// (mutex unlock, semaphore post, barrier entry, condvar signal, atomic
+    /// access).
+    fn on_release(&mut self, thread: ThreadId, object: SyncObjectId) {
+        let _ = (thread, object);
+    }
+    /// Thread `thread` accessed shared cell `addr` (flattened index) from the
+    /// static location `loc`.
+    fn on_access(&mut self, thread: ThreadId, loc: Loc, addr: usize, is_write: bool, atomic: bool) {
+        let _ = (thread, loc, addr, is_write, atomic);
+    }
+}
+
+/// Observer that ignores all events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl ExecObserver for NoopObserver {}
+
+/// Observer that counts events; useful in tests and as an example of the
+/// observer interface.
+#[derive(Debug, Default, Clone)]
+pub struct CountingObserver {
+    /// Number of threads created (excluding the initial thread).
+    pub threads_created: usize,
+    /// Number of thread terminations observed.
+    pub threads_finished: usize,
+    /// Number of acquire events.
+    pub acquires: usize,
+    /// Number of release events.
+    pub releases: usize,
+    /// Number of shared-memory accesses.
+    pub accesses: usize,
+    /// Number of write accesses.
+    pub writes: usize,
+    /// Number of join edges.
+    pub joins: usize,
+}
+
+impl ExecObserver for CountingObserver {
+    fn on_thread_created(&mut self, _parent: ThreadId, _child: ThreadId) {
+        self.threads_created += 1;
+    }
+    fn on_thread_finished(&mut self, _thread: ThreadId) {
+        self.threads_finished += 1;
+    }
+    fn on_join(&mut self, _joiner: ThreadId, _joined: ThreadId) {
+        self.joins += 1;
+    }
+    fn on_acquire(&mut self, _thread: ThreadId, _object: SyncObjectId) {
+        self.acquires += 1;
+    }
+    fn on_release(&mut self, _thread: ThreadId, _object: SyncObjectId) {
+        self.releases += 1;
+    }
+    fn on_access(
+        &mut self,
+        _thread: ThreadId,
+        _loc: Loc,
+        _addr: usize,
+        is_write: bool,
+        _atomic: bool,
+    ) {
+        self.accesses += 1;
+        if is_write {
+            self.writes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::TemplateId;
+
+    #[test]
+    fn noop_observer_accepts_all_events() {
+        let mut o = NoopObserver;
+        o.on_thread_created(ThreadId(0), ThreadId(1));
+        o.on_acquire(ThreadId(1), SyncObjectId::Mutex(0));
+        o.on_access(
+            ThreadId(1),
+            Loc {
+                template: TemplateId(0),
+                pc: 0,
+            },
+            0,
+            true,
+            false,
+        );
+    }
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut o = CountingObserver::default();
+        o.on_thread_created(ThreadId(0), ThreadId(1));
+        o.on_thread_finished(ThreadId(1));
+        o.on_join(ThreadId(0), ThreadId(1));
+        o.on_acquire(ThreadId(0), SyncObjectId::Sem(0));
+        o.on_release(ThreadId(0), SyncObjectId::Sem(0));
+        o.on_access(
+            ThreadId(0),
+            Loc {
+                template: TemplateId(0),
+                pc: 1,
+            },
+            3,
+            true,
+            false,
+        );
+        assert_eq!(o.threads_created, 1);
+        assert_eq!(o.threads_finished, 1);
+        assert_eq!(o.joins, 1);
+        assert_eq!(o.acquires, 1);
+        assert_eq!(o.releases, 1);
+        assert_eq!(o.accesses, 1);
+        assert_eq!(o.writes, 1);
+    }
+}

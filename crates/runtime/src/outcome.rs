@@ -1,0 +1,195 @@
+//! Per-execution outcome: the recorded schedule, bug information and summary
+//! statistics consumed by the exploration layer and the experiment harness.
+
+use crate::bug::Bug;
+use crate::thread::ThreadId;
+
+/// One recorded step of an execution: the chosen thread plus the information
+/// needed to recompute preemption and delay counts after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Thread that executed this step.
+    pub thread: ThreadId,
+    /// Threads that were enabled at the scheduling point (thread-id order).
+    pub enabled: Vec<ThreadId>,
+    /// Whether the previously running thread was still enabled.
+    pub last_enabled: bool,
+    /// The previously running thread.
+    pub last: Option<ThreadId>,
+    /// Number of threads created when the step was taken.
+    pub num_threads: usize,
+}
+
+/// The result of running one execution (one terminal schedule).
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The bug that terminated the execution, if any.
+    pub bug: Option<Bug>,
+    /// The executed schedule, one record per step.
+    pub steps: Vec<StepRecord>,
+    /// Total number of threads created (including the initial thread).
+    pub threads_created: usize,
+    /// Maximum number of simultaneously enabled threads over the execution.
+    pub max_enabled: usize,
+    /// Number of scheduling points at which more than one thread was enabled.
+    pub scheduling_points: usize,
+    /// True when the execution was cut off by the step limit rather than
+    /// reaching a genuinely terminal state.
+    pub diverged: bool,
+    /// Hash of the final program state (globals, locals, thread statuses);
+    /// used to check replay determinism.
+    pub fingerprint: u64,
+}
+
+impl ExecutionOutcome {
+    /// Whether the execution exposed a bug (divergence does not count).
+    pub fn is_buggy(&self) -> bool {
+        self.bug.as_ref().map(Bug::counts_as_bug).unwrap_or(false)
+    }
+
+    /// The executed schedule as a plain list of thread ids.
+    pub fn schedule(&self) -> Vec<ThreadId> {
+        self.steps.iter().map(|s| s.thread).collect()
+    }
+
+    /// Recompute the preemption count `PC` of the executed schedule from the
+    /// per-step records (used by tests and the worst-case analysis of
+    /// Figure 4). A step is a preemption when the previously running thread
+    /// was still enabled but a different thread was chosen.
+    pub fn preemption_count(&self) -> u32 {
+        self.steps
+            .iter()
+            .filter(|s| match s.last {
+                Some(last) => s.last_enabled && last != s.thread,
+                None => false,
+            })
+            .count() as u32
+    }
+
+    /// Recompute the delay count `DC` of the executed schedule with respect
+    /// to the non-preemptive round-robin deterministic scheduler.
+    pub fn delay_count(&self) -> u32 {
+        self.steps
+            .iter()
+            .map(|s| {
+                let n = s.num_threads.max(1);
+                let start = match s.last {
+                    None => 0,
+                    Some(last) => last.index(),
+                };
+                let distance = (s.thread.index() + n - start) % n;
+                let mut delays = 0u32;
+                for x in 0..distance {
+                    let skipped = ThreadId((start + x) % n);
+                    let skipped_enabled = if Some(skipped) == s.last {
+                        s.last_enabled
+                    } else {
+                        s.enabled.contains(&skipped)
+                    };
+                    if skipped_enabled {
+                        delays += 1;
+                    }
+                }
+                delays
+            })
+            .sum()
+    }
+
+    /// Number of context switches (steps where the thread differs from the
+    /// previous step's thread).
+    pub fn context_switches(&self) -> u32 {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.last, Some(last) if last != s.thread))
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(
+        thread: usize,
+        enabled: &[usize],
+        last: Option<usize>,
+        last_enabled: bool,
+        num_threads: usize,
+    ) -> StepRecord {
+        StepRecord {
+            thread: ThreadId(thread),
+            enabled: enabled.iter().map(|&i| ThreadId(i)).collect(),
+            last_enabled,
+            last: last.map(ThreadId),
+            num_threads,
+        }
+    }
+
+    fn outcome(steps: Vec<StepRecord>) -> ExecutionOutcome {
+        ExecutionOutcome {
+            bug: None,
+            steps,
+            threads_created: 3,
+            max_enabled: 2,
+            scheduling_points: 0,
+            diverged: false,
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn preemption_count_counts_only_preemptive_switches() {
+        // t0 runs, then t1 is chosen while t0 is still enabled (preemption),
+        // then t0 is chosen while t1 is disabled (non-preemptive switch).
+        let o = outcome(vec![
+            step(0, &[0, 1], None, false, 2),
+            step(1, &[0, 1], Some(0), true, 2),
+            step(0, &[0], Some(1), false, 2),
+        ]);
+        assert_eq!(o.preemption_count(), 1);
+        assert_eq!(o.context_switches(), 2);
+    }
+
+    #[test]
+    fn delay_count_is_at_least_preemption_count() {
+        let o = outcome(vec![
+            step(0, &[0, 1, 2], None, false, 3),
+            step(2, &[0, 1, 2], Some(0), true, 3), // skips enabled 0 and 1 => 2 delays, 1 preemption
+            step(2, &[2], Some(2), true, 3),
+        ]);
+        assert_eq!(o.preemption_count(), 1);
+        assert_eq!(o.delay_count(), 2);
+        assert!(o.delay_count() >= o.preemption_count());
+    }
+
+    #[test]
+    fn round_robin_schedule_has_zero_delays() {
+        let o = outcome(vec![
+            step(0, &[0], None, false, 1),
+            step(0, &[0, 1], Some(0), true, 2),
+            step(1, &[1], Some(0), false, 2),
+            step(1, &[1], Some(1), true, 2),
+        ]);
+        assert_eq!(o.delay_count(), 0);
+        assert_eq!(o.preemption_count(), 0);
+    }
+
+    #[test]
+    fn buggy_classification_ignores_divergence() {
+        let mut o = outcome(vec![]);
+        assert!(!o.is_buggy());
+        o.bug = Some(Bug::StepLimitExceeded { limit: 5 });
+        assert!(!o.is_buggy());
+        o.bug = Some(Bug::Deadlock { blocked: vec![] });
+        assert!(o.is_buggy());
+    }
+
+    #[test]
+    fn schedule_projects_thread_ids() {
+        let o = outcome(vec![
+            step(0, &[0], None, false, 1),
+            step(1, &[0, 1], Some(0), true, 2),
+        ]);
+        assert_eq!(o.schedule(), vec![ThreadId(0), ThreadId(1)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Thread identities and per-thread state.
+
+use sct_ir::TemplateId;
+use std::fmt;
+
+/// A dynamic thread identifier. Threads are numbered in creation order: the
+/// initial thread is 0, the first spawned thread is 1, and so on. This order
+/// is what the non-preemptive round-robin deterministic scheduler — and
+/// therefore delay bounding — is defined over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Parked at a visible instruction (`pc`); may or may not be enabled
+    /// depending on that instruction's precondition (e.g. mutex availability).
+    Runnable,
+    /// Blocked inside `pthread_cond_wait`, waiting for a signal or broadcast.
+    /// The thread must re-acquire `mutex` once woken.
+    WaitingCondvar { condvar: usize, mutex: usize },
+    /// Woken from a condition wait; must re-acquire `mutex` before resuming.
+    Reacquiring { mutex: usize },
+    /// Blocked at a barrier that has not yet released.
+    WaitingBarrier { barrier: usize },
+    /// The thread has executed `Halt`.
+    Finished,
+}
+
+impl ThreadStatus {
+    /// True once the thread has terminated.
+    pub fn is_finished(self) -> bool {
+        matches!(self, ThreadStatus::Finished)
+    }
+}
+
+/// Mutable per-thread interpreter state.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// The template this thread executes.
+    pub template: TemplateId,
+    /// Index of the next instruction to execute within the template body.
+    pub pc: usize,
+    /// Local slots, zero-initialised.
+    pub locals: Vec<i64>,
+    /// Lifecycle status.
+    pub status: ThreadStatus,
+    /// The thread that spawned this one (None for the initial thread).
+    pub parent: Option<ThreadId>,
+}
+
+impl ThreadState {
+    /// Create the state for a freshly spawned thread.
+    pub fn new(template: TemplateId, locals: u32, parent: Option<ThreadId>) -> Self {
+        ThreadState {
+            template,
+            pc: 0,
+            locals: vec![0; locals as usize],
+            status: ThreadStatus::Runnable,
+            parent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_display_and_order() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert!(ThreadId(1) < ThreadId(2));
+        assert_eq!(ThreadId(5).index(), 5);
+    }
+
+    #[test]
+    fn new_thread_state_is_runnable_at_pc_zero() {
+        let t = ThreadState::new(TemplateId(1), 4, Some(ThreadId(0)));
+        assert_eq!(t.pc, 0);
+        assert_eq!(t.locals, vec![0; 4]);
+        assert_eq!(t.status, ThreadStatus::Runnable);
+        assert!(!t.status.is_finished());
+        assert_eq!(t.parent, Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn finished_status_classification() {
+        assert!(ThreadStatus::Finished.is_finished());
+        assert!(!ThreadStatus::Runnable.is_finished());
+        assert!(!ThreadStatus::Reacquiring { mutex: 0 }.is_finished());
+    }
+}

@@ -1,0 +1,205 @@
+//! The CB ("Concurrency Bugs") suite: test cases extracted from real
+//! applications (Yu & Narayanasamy's benchmark collection). The paper uses
+//! three of them; networked benchmarks were skipped (Table 1).
+//!
+//! Port fidelity: the application logic (downloading, compression, string
+//! manipulation) is replaced by shared-memory traffic with the same thread
+//! structure and the same defect; network reads are modelled as local data,
+//! exactly as the study itself modelled `aget`'s network functions (§4.1).
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+/// `CB.aget-bug2` — the `aget` download accelerator. Worker threads download
+/// chunks and account the downloaded bytes; a signal-handler thread (modelled
+/// as an ordinary thread, as the study models the asynchronous interrupt)
+/// snapshots the byte count to the resume file. Because the workers update
+/// the shared byte counter without synchronisation, the snapshot can record a
+/// value that does not correspond to any consistent prefix of the download —
+/// the added output check then fails.
+pub fn aget_bug2() -> Program {
+    let mut p = ProgramBuilder::new("CB.aget-bug2");
+    let chunks = p.global_array_zeroed("chunks", 4);
+    let bytes_done = p.global("bytes_done", 0);
+    let saved_offset = p.global("saved_offset", -1);
+    let chunk_size = 100i64;
+
+    let mut workers = Vec::new();
+    for w in 0..2u32 {
+        let worker = p.thread(format!("worker{w}"), move |b| {
+            let r = b.local("r");
+            b.for_range("i", 0, 2, |b, i| {
+                let idx = add(mul(w as i64, 2), i);
+                b.store(chunks.at(idx), 1);
+                // Racy read-modify-write of the global progress counter.
+                b.load(bytes_done, r);
+                b.store(bytes_done, add(r, chunk_size));
+            });
+        });
+        workers.push(worker);
+    }
+    let sigint = p.thread("sigint_handler", |b| {
+        // The handler snapshots progress for the resume file.
+        let r = b.local("r");
+        b.load(bytes_done, r);
+        b.store(saved_offset, r);
+    });
+
+    p.main(move |b| {
+        let h0 = b.local("h0");
+        let h1 = b.local("h1");
+        let hs = b.local("hs");
+        b.spawn_into(workers[0], h0);
+        b.spawn_into(workers[1], h1);
+        b.spawn_into(sigint, hs);
+        b.join(h0);
+        b.join(h1);
+        b.join(hs);
+        // Output check (added by the study for aget): the total downloaded
+        // byte count must equal the sum of the chunk sizes.
+        let r = b.local("r");
+        b.load(bytes_done, r);
+        b.assert_cond(eq(r, 400), "download accounted all chunk bytes");
+    });
+    p.build().expect("aget_bug2 builds")
+}
+
+/// `CB.pbzip2-0.9.4` — the parallel bzip2 compressor. The main thread fills a
+/// work queue for the consumer threads and then tears the queue down; in the
+/// buggy version it destroys the queue mutex while consumers may still be
+/// blocked on it, which the runtime reports as a use-after-destroy (the
+/// original crashes inside `pthread_mutex_lock`). The paper notes that
+/// detecting out-of-bound accesses to synchronisation objects "proved to be
+/// useful in pbzip2".
+pub fn pbzip2() -> Program {
+    let mut p = ProgramBuilder::new("CB.pbzip2-0.9.4");
+    let queue_len = p.global("queue_len", 0);
+    let produced = p.global("produced", 0);
+    let consumed = p.global("consumed", 0);
+    let queue_mutex = p.mutex("queue_mutex");
+
+    let consumer = p.thread("consumer", |b| {
+        let r = b.local("r");
+        b.for_range("i", 0, 2, |b, _i| {
+            b.lock(queue_mutex);
+            b.load(queue_len, r);
+            b.if_(gt(r, 0), |b| {
+                b.store(queue_len, sub(r, 1));
+                let c = b.local("c");
+                b.load(consumed, c);
+                b.store(consumed, add(c, 1));
+            });
+            b.unlock(queue_mutex);
+        });
+    });
+
+    p.main(move |b| {
+        // Spawn three consumers (4 threads in total, as in Table 3).
+        b.spawn(consumer);
+        b.spawn(consumer);
+        b.spawn(consumer);
+        // Produce four work items.
+        b.for_range("i", 0, 4, |b, _i| {
+            let r = b.local("r");
+            b.lock(queue_mutex);
+            b.load(queue_len, r);
+            b.store(queue_len, add(r, 1));
+            let pr = b.local("pr");
+            b.load(produced, pr);
+            b.store(produced, add(pr, 1));
+            b.unlock(queue_mutex);
+        });
+        // BUG: tear down the queue without waiting for the consumers.
+        b.mutex_destroy(queue_mutex);
+    });
+    p.build().expect("pbzip2 builds")
+}
+
+/// `CB.stringbuffer-jdk1.4` — the classic JDK 1.4 `StringBuffer.append`
+/// atomicity violation: `append` reads the other buffer's length, and a
+/// concurrent `setLength(0)` (erase) shrinks the buffer before the copy loop
+/// runs, so the copy reads past the now-valid region. The bounds check that
+/// the original JVM performs is modelled as an assertion.
+pub fn stringbuffer_jdk14() -> Program {
+    let mut p = ProgramBuilder::new("CB.stringbuffer-jdk1.4");
+    let data = p.global_array_zeroed("sb_data", 8);
+    let len = p.global("sb_len", 6);
+    let out = p.global_array_zeroed("out", 8);
+
+    let eraser = p.thread("eraser", |b| {
+        // setLength(0): logically truncate the buffer.
+        b.store(len, 0);
+    });
+
+    p.main(move |b| {
+        b.spawn(eraser);
+        // append(sb): read the length, then copy that many characters. The
+        // value of `len` can change under our feet between the read and the
+        // per-character validity checks.
+        let n = b.local("n");
+        b.load(len, n);
+        b.for_range("i", 0, 6, |b, i| {
+            b.if_(lt(i, n), |b| {
+                let cur = b.local("cur");
+                b.load(len, cur);
+                // Each character read checks it is still within the live
+                // region (this is where the original throws
+                // ArrayIndexOutOfBoundsException).
+                b.assert_cond(lt(i, max(cur, n)), "copy index within source buffer");
+                b.assert_cond(
+                    or(lt(i, cur), eq(cur, n)),
+                    "source buffer not truncated during append",
+                );
+                let v = b.local("v");
+                b.load(data.at(i), v);
+                b.store(out.at(i), v);
+            });
+        });
+    });
+    p.build().expect("stringbuffer_jdk14 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::{Bug, ExecConfig};
+
+    fn idb(prog: &sct_ir::Program, limit: u64) -> ExplorationStats {
+        iterative_bounding(
+            prog,
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(limit),
+        )
+    }
+
+    #[test]
+    fn aget_lost_update_is_found() {
+        let stats = idb(&aget_bug2(), 5_000);
+        assert!(stats.found_bug());
+        assert!(matches!(stats.first_bug, Some(Bug::AssertionFailure { .. })));
+    }
+
+    #[test]
+    fn pbzip2_use_after_destroy_is_found() {
+        let stats = idb(&pbzip2(), 5_000);
+        assert!(stats.found_bug());
+        assert!(matches!(stats.first_bug, Some(Bug::UseAfterDestroy { .. })));
+    }
+
+    #[test]
+    fn stringbuffer_truncation_race_is_found_but_not_at_bound_zero() {
+        let zero = explore::bounded_dfs(
+            &stringbuffer_jdk14(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            0,
+            &ExploreLimits::with_schedule_limit(10),
+        );
+        assert!(!zero.found_bug(), "append/erase race must need a delay");
+        let stats = idb(&stringbuffer_jdk14(), 5_000);
+        assert!(stats.found_bug());
+        assert!(stats.bound_of_first_bug.unwrap() >= 1);
+    }
+}

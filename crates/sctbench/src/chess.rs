@@ -1,0 +1,183 @@
+//! The CHESS suite: four variants of the Cilk-style work-stealing queue test
+//! that was originally used to evaluate preemption bounding (and that the
+//! paper's authors translated to pthreads / C++11 atomics).
+//!
+//! The port models the THE-protocol deque with an index-based item array:
+//! the owner pushes and pops at the tail without synchronisation and the
+//! thieves steal from the head. The known bug is the classic one: when
+//! exactly one element remains, an owner `pop` racing with a `steal` can make
+//! both sides take the same element (or lose it). Every take marks the item
+//! in a `taken` array via an atomic fetch-add and asserts it had not been
+//! taken before; the owner finally asserts that no item was lost.
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+/// Shared construction: an owner (the benchmark's main thread) pushes
+/// `items` tasks and pops them all; `stealers` thief threads each attempt
+/// `steals_per_thief` steals. `lock_free` selects CAS-based stealing (the
+/// "interface"/lock-free variants) instead of mutex-based stealing.
+fn work_stealing_queue(
+    name: &str,
+    items: u32,
+    stealers: u32,
+    steals_per_thief: u32,
+    lock_free: bool,
+) -> Program {
+    let mut p = ProgramBuilder::new(name);
+    let n = items as i64;
+    // Queue state.
+    let tasks = p.global_array_zeroed("tasks", items as usize); // unused values, kept for structure
+    let head = p.global("head", 0);
+    let tail = p.global("tail", 0);
+    let taken = p.global_array_zeroed("taken", items as usize);
+    let steal_lock = p.mutex("steal_lock");
+
+    // A thief: steal up to `steals_per_thief` items from the head.
+    let thief = p.thread("thief", move |b| {
+        b.for_range("s", 0, steals_per_thief as i64, |b, _s| {
+            let h = b.local("h");
+            let t = b.local("t");
+            let old = b.local("old");
+            if lock_free {
+                let ok = b.local("ok");
+                b.atomic_load(head, h);
+                b.load(tail, t); // non-atomic read of the owner's tail: stale values possible
+                b.if_(lt(h, t), |b| {
+                    b.cas(head, h, add(h, 1), ok);
+                    b.if_(ne(ok, 0), |b| {
+                        b.fetch_add_into(taken.at(h), 1, old);
+                        b.assert_cond(eq(old, 0), "item stolen twice");
+                    });
+                });
+            } else {
+                b.lock(steal_lock);
+                b.atomic_load(head, h);
+                b.load(tail, t);
+                b.if_(lt(h, t), |b| {
+                    b.atomic_store(head, add(h, 1));
+                    b.fetch_add_into(taken.at(h), 1, old);
+                    b.assert_cond(eq(old, 0), "item stolen twice");
+                });
+                b.unlock(steal_lock);
+            }
+        });
+    });
+
+    p.main(move |b| {
+        // Push all items: tail is only written by the owner.
+        b.for_range("i", 0, n, |b, i| {
+            b.store(tasks.at(i), add(i, 1));
+            b.store(tail, add(i, 1));
+        });
+        for _ in 0..stealers {
+            b.spawn(thief);
+        }
+        // Pop everything from the tail, THE-protocol style. The bug: the
+        // owner decrements the tail, then compares against a head value that
+        // can be stale with respect to a concurrent steal of the last item.
+        b.for_range("i", 0, n, |b, _i| {
+            let t = b.local("t");
+            let h = b.local("h");
+            let old = b.local("old");
+            b.load(tail, t);
+            b.if_(gt(t, 0), |b| {
+                b.assign(t, sub(t, 1));
+                b.store(tail, t);
+                b.atomic_load(head, h);
+                b.if_(le(h, t), |b| {
+                    // Fast path: the owner believes the element at `t` is
+                    // still present, but a thief that read the old tail may
+                    // be taking the same element.
+                    b.fetch_add_into(taken.at(t), 1, old);
+                    b.assert_cond(eq(old, 0), "item taken by owner and thief");
+                });
+                b.if_(gt(h, t), |b| {
+                    // Conflict path: restore the tail and leave the element
+                    // to the thieves.
+                    b.store(tail, add(t, 1));
+                });
+            });
+        });
+    });
+    p.build().expect("work-stealing queue builds")
+}
+
+/// `chess.WSQ` — the mutex-based work-stealing queue with two thieves and a
+/// small workload (3 threads in total, as in Table 3).
+pub fn wsq() -> Program {
+    work_stealing_queue("chess.WSQ", 2, 2, 1, false)
+}
+
+/// `chess.SWSQ` — the "simple" variant: same protocol, larger workload, which
+/// multiplies the number of scheduling points.
+pub fn swsq() -> Program {
+    work_stealing_queue("chess.SWSQ", 4, 2, 2, false)
+}
+
+/// `chess.IWSQ` — the interface (lock-free) variant: thieves race on the head
+/// with compare-and-swap instead of a steal lock.
+pub fn iwsq() -> Program {
+    work_stealing_queue("chess.IWSQ", 3, 2, 1, true)
+}
+
+/// `chess.IWSQWS` — the lock-free variant with additional stealing rounds
+/// ("with steal"), the largest of the four.
+pub fn iwsqws() -> Program {
+    work_stealing_queue("chess.IWSQWS", 4, 2, 2, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    #[test]
+    fn all_variants_build_with_three_threads() {
+        for prog in [wsq(), swsq(), iwsq(), iwsqws()] {
+            assert!(prog.validate().is_ok());
+            // main + 2 thieves
+            assert_eq!(prog.templates.len(), 2, "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn round_robin_schedule_is_not_buggy() {
+        // The bug needs a genuine race between pop and steal; the default
+        // non-preemptive round-robin schedule must pass.
+        for prog in [wsq(), iwsq()] {
+            let stats = explore::bounded_dfs(
+                &prog,
+                &ExecConfig::all_visible(),
+                BoundKind::Delay,
+                0,
+                &ExploreLimits::with_schedule_limit(10),
+            );
+            assert!(!stats.found_bug(), "{} buggy at delay bound 0", prog.name);
+        }
+    }
+
+    #[test]
+    fn wsq_double_take_is_found_by_delay_bounding() {
+        let stats = iterative_bounding(
+            &wsq(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(10_000),
+        );
+        assert!(stats.found_bug(), "WSQ double-take not found");
+        assert!(stats.bound_of_first_bug.unwrap() >= 1);
+    }
+
+    #[test]
+    fn iwsq_double_take_is_found_by_random_scheduling() {
+        let stats = explore::run_technique(
+            &iwsq(),
+            &ExecConfig::all_visible(),
+            Technique::Random { seed: 12 },
+            &ExploreLimits::with_schedule_limit(5_000),
+        );
+        assert!(stats.found_bug(), "IWSQ double-take not found by Rand");
+    }
+}

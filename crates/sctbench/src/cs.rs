@@ -1,0 +1,832 @@
+//! The CS ("Concurrency Software") suite: the 29 small pthread test programs
+//! originally used to evaluate the ESBMC bounded model checker and ported by
+//! the study. Most are textbook concurrency-bug patterns (lost updates,
+//! order violations, lock-order deadlocks, dining philosophers, two-stage
+//! locking, wrong-lock bugs); several are deliberately trivial (the paper's
+//! Table 2 notes that a number of them are buggy on every schedule).
+//!
+//! Port fidelity: each program keeps the original's thread count and the
+//! synchronisation structure that the bug depends on; unconstrained inputs
+//! are fixed to small concrete values as in the study (§4.1).
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+/// `CS.account_bad` — a bank account whose deposit and withdraw threads
+/// release the lock between reading and writing the balance, so updates can
+/// be lost. `main` joins both workers and checks the final balance.
+pub fn account_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.account_bad");
+    let balance = p.global("balance", 0);
+    let m = p.mutex("m");
+    let deposit = p.thread("deposit", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(balance, r);
+        b.unlock(m);
+        // The computed value is written back under a fresh lock acquisition:
+        // a concurrent withdraw between the two critical sections is lost.
+        b.assign(r, add(r, 100));
+        b.lock(m);
+        b.store(balance, r);
+        b.unlock(m);
+    });
+    let withdraw = p.thread("withdraw", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(balance, r);
+        b.unlock(m);
+        b.assign(r, sub(r, 40));
+        b.lock(m);
+        b.store(balance, r);
+        b.unlock(m);
+    });
+    let check = p.thread("check", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(balance, r);
+        b.unlock(m);
+        b.assert_cond(or(eq(r, 0), or(eq(r, 100), or(eq(r, -40), eq(r, 60)))), "balance is consistent");
+    });
+    p.main(|b| {
+        let h1 = b.local("h1");
+        let h2 = b.local("h2");
+        let h3 = b.local("h3");
+        b.spawn_into(deposit, h1);
+        b.spawn_into(withdraw, h2);
+        b.spawn_into(check, h3);
+        b.join(h1);
+        b.join(h2);
+        b.join(h3);
+        let r = b.local("r");
+        b.load(balance, r);
+        b.assert_cond(eq(r, 60), "final balance == 60");
+    });
+    p.build().expect("account_bad builds")
+}
+
+/// `CS.arithmetic_prog_bad` — two threads add successive terms of an
+/// arithmetic progression to a shared sum without synchronisation; `main`
+/// checks the sum immediately after spawning them (the original is buggy on
+/// essentially every schedule, see Table 2).
+pub fn arithmetic_prog_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.arithmetic_prog_bad");
+    let sum = p.global("sum", 0);
+    let adder = p.thread("adder", |b| {
+        let r = b.local("r");
+        b.for_range("i", 1, 4, |b, i| {
+            b.load(sum, r);
+            b.store(sum, add(r, i));
+        });
+    });
+    p.main(|b| {
+        b.spawn(adder);
+        b.spawn(adder);
+        let r = b.local("r");
+        b.load(sum, r);
+        b.assert_cond(eq(r, 12), "sum of both progressions");
+    });
+    p.build().expect("arithmetic_prog_bad builds")
+}
+
+/// `CS.bluetooth_driver_bad` — the classic Windows Bluetooth driver model
+/// (stop routine versus dispatch routine). The dispatch thread checks the
+/// stopping flag, is preempted, the stopper marks the device stopped, and the
+/// dispatch thread then touches the stopped device.
+pub fn bluetooth_driver_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.bluetooth_driver_bad");
+    let stopping = p.global("stoppingFlag", 0);
+    let pending_io = p.global("pendingIo", 1);
+    let stopped = p.global("stopped", 0);
+    // The stop routine runs in its own thread; the dispatch routine runs on
+    // the benchmark's main thread (as in the original driver harness, where
+    // the adder thread performs the dispatch).
+    let stopper = p.thread("stopper", |b| {
+        let pio = b.local("pio");
+        b.store(stopping, 1);
+        b.load(pending_io, pio);
+        b.store(pending_io, sub(pio, 1));
+        b.load(pending_io, pio);
+        b.if_(eq(pio, 0), |b| {
+            b.store(stopped, 1);
+        });
+    });
+    p.main(|b| {
+        let flag = b.local("flag");
+        b.spawn(stopper);
+        b.load(stopping, flag);
+        b.if_(eq(flag, 0), |b| {
+            let pio = b.local("pio");
+            b.load(pending_io, pio);
+            b.store(pending_io, add(pio, 1));
+            // The device must not be stopped while I/O is in flight.
+            let st = b.local("st");
+            b.load(stopped, st);
+            b.assert_cond(eq(st, 0), "device not stopped during dispatch");
+            b.load(pending_io, pio);
+            b.store(pending_io, sub(pio, 1));
+        });
+    });
+    p.build().expect("bluetooth_driver_bad builds")
+}
+
+/// `CS.carter01_bad` — four workers increment a lock-protected counter; the
+/// last-created worker additionally assumes it runs last and checks that it
+/// observed all other increments.
+pub fn carter01_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.carter01_bad");
+    let a = p.global("A", 0);
+    let m = p.mutex("m");
+    let worker = p.thread("worker", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(a, r);
+        b.store(a, add(r, 1));
+        b.unlock(m);
+    });
+    let last = p.thread("last", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(a, r);
+        b.store(a, add(r, 1));
+        b.unlock(m);
+        b.assert_cond(eq(r, 3), "last worker observes the other three increments");
+    });
+    p.main(|b| {
+        b.spawn(worker);
+        b.spawn(worker);
+        b.spawn(worker);
+        b.spawn(last);
+    });
+    p.build().expect("carter01_bad builds")
+}
+
+/// `CS.circular_buffer_bad` — a single-producer single-consumer ring buffer
+/// whose occupancy is tracked by an unsynchronised counter; the consumer can
+/// read slots the producer has not written yet.
+pub fn circular_buffer_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.circular_buffer_bad");
+    let buffer = p.global_array_zeroed("buffer", 8);
+    let received = p.global_array_zeroed("received", 4);
+    let send_count = p.global("send_count", 0);
+    let producer = p.thread("producer", |b| {
+        let c = b.local("c");
+        b.for_range("i", 0, 4, |b, i| {
+            b.load(send_count, c);
+            b.store(buffer.at(c), add(i, 1));
+            b.store(send_count, add(c, 1));
+        });
+    });
+    let consumer = p.thread("consumer", |b| {
+        let v = b.local("v");
+        b.for_range("i", 0, 4, |b, i| {
+            b.load(buffer.at(i), v);
+            b.store(received.at(i), v);
+        });
+    });
+    p.main(|b| {
+        let h1 = b.local("h1");
+        let h2 = b.local("h2");
+        b.spawn_into(producer, h1);
+        b.spawn_into(consumer, h2);
+        b.join(h1);
+        b.join(h2);
+        let v = b.local("v");
+        b.for_range("i", 0, 4, |b, i| {
+            b.load(received.at(i), v);
+            b.assert_cond(eq(v, add(i, 1)), "consumer received the produced value");
+        });
+    });
+    p.build().expect("circular_buffer_bad builds")
+}
+
+/// `CS.deadlock01_bad` — two threads acquire two mutexes in opposite orders.
+pub fn deadlock01_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.deadlock01_bad");
+    let counter = p.global("counter", 0);
+    let a = p.mutex("A");
+    let bm = p.mutex("B");
+    let t1 = p.thread("t1", |b| {
+        let r = b.local("r");
+        b.lock(a);
+        b.lock(bm);
+        b.load(counter, r);
+        b.store(counter, add(r, 1));
+        b.unlock(bm);
+        b.unlock(a);
+    });
+    let t2 = p.thread("t2", |b| {
+        let r = b.local("r");
+        b.lock(bm);
+        b.lock(a);
+        b.load(counter, r);
+        b.store(counter, add(r, 1));
+        b.unlock(a);
+        b.unlock(bm);
+    });
+    p.main(|b| {
+        b.spawn(t1);
+        b.spawn(t2);
+    });
+    p.build().expect("deadlock01_bad builds")
+}
+
+/// The dining-philosophers family `CS.din_philN_sat`. Each philosopher grabs
+/// its left fork, waits at a barrier until every philosopher holds a left
+/// fork, and then tries to grab the right fork — so every schedule reaches
+/// the circular-wait deadlock (the paper's Table 2 lists these among the
+/// benchmarks whose bug is exposed by (almost) every schedule).
+fn din_phil_sat(n: u32) -> Program {
+    let mut p = ProgramBuilder::new(format!("CS.din_phil{n}_sat"));
+    let forks = p.mutex_array("forks", n);
+    let all_hungry = p.barrier("all_hungry", n);
+    let meals = p.global("meals", 0);
+    let mut phils = Vec::new();
+    for i in 0..n {
+        let phil = p.thread(format!("phil{i}"), move |b| {
+            let r = b.local("r");
+            b.lock(forks.at(i));
+            b.barrier_wait(all_hungry);
+            b.lock(forks.at((i + 1) % n));
+            b.load(meals, r);
+            b.store(meals, add(r, 1));
+            b.unlock(forks.at((i + 1) % n));
+            b.unlock(forks.at(i));
+        });
+        phils.push(phil);
+    }
+    p.main(move |b| {
+        for &phil in &phils {
+            b.spawn(phil);
+        }
+    });
+    p.build().expect("din_phil_sat builds")
+}
+
+/// `CS.din_phil2_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_2() -> Program {
+    din_phil_sat(2)
+}
+/// `CS.din_phil3_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_3() -> Program {
+    din_phil_sat(3)
+}
+/// `CS.din_phil4_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_4() -> Program {
+    din_phil_sat(4)
+}
+/// `CS.din_phil5_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_5() -> Program {
+    din_phil_sat(5)
+}
+/// `CS.din_phil6_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_6() -> Program {
+    din_phil_sat(6)
+}
+/// `CS.din_phil7_sat` — see [`din_phil_sat`].
+pub fn din_phil_sat_7() -> Program {
+    din_phil_sat(7)
+}
+
+/// `CS.fsbench_bad` — a model of the ESBMC file-system benchmark: 27 worker
+/// threads allocate blocks from a bitmap whose capacity is smaller than the
+/// number of workers, so the capacity assertion fails on every schedule.
+pub fn fsbench_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.fsbench_bad");
+    let used = p.global("used_blocks", 0);
+    let m = p.mutex("bitmap_lock");
+    let capacity = 20i64;
+    let worker = p.thread("worker", move |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(used, r);
+        b.store(used, add(r, 1));
+        b.assert_cond(lt(r, capacity), "block bitmap has free space");
+        b.unlock(m);
+    });
+    p.main(|b| {
+        b.for_range("i", 0, 27, |b, _i| {
+            b.spawn(worker);
+        });
+    });
+    p.build().expect("fsbench_bad builds")
+}
+
+/// `CS.lazy01_bad` — three workers add 1, 2 and 4 to a lock-protected
+/// counter; a fourth code path (in the third worker) fails once the counter
+/// reaches the value it reaches on the default schedule.
+pub fn lazy01_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.lazy01_bad");
+    let data = p.global("data", 0);
+    let m = p.mutex("m");
+    let t1 = p.thread("t1", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(data, r);
+        b.store(data, add(r, 1));
+        b.unlock(m);
+    });
+    let t2 = p.thread("t2", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(data, r);
+        b.store(data, add(r, 2));
+        b.unlock(m);
+    });
+    let t3 = p.thread("t3", |b| {
+        let r = b.local("r");
+        b.lock(m);
+        b.load(data, r);
+        b.unlock(m);
+        b.if_(ge(r, 3), |b| {
+            b.fail("lazy01: data reached 3");
+        });
+    });
+    p.main(|b| {
+        b.spawn(t1);
+        b.spawn(t2);
+        b.spawn(t3);
+    });
+    p.build().expect("lazy01_bad builds")
+}
+
+/// `CS.phase01_bad` — a two-phase handshake whose second phase asserts a
+/// property that the first phase already violated; the bug is independent of
+/// scheduling (Table 2: exposed by every schedule).
+pub fn phase01_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.phase01_bad");
+    let phase = p.global("phase", 0);
+    let s = p.sem("phase_done", 0);
+    let worker = p.thread("worker", |b| {
+        let r = b.local("r");
+        b.load(phase, r);
+        b.store(phase, add(r, 1));
+        b.sem_post(s);
+    });
+    let checker = p.thread("checker", |b| {
+        let r = b.local("r");
+        b.sem_wait(s);
+        b.load(phase, r);
+        // The original benchmark's invariant is simply wrong: the worker only
+        // ever advances the phase counter to 1.
+        b.assert_cond(eq(r, 2), "phase reached 2");
+    });
+    p.main(|b| {
+        b.spawn(worker);
+        b.spawn(checker);
+    });
+    p.build().expect("phase01_bad builds")
+}
+
+/// `CS.queue_bad` — a bounded queue whose element storage is protected by a
+/// lock but whose occupancy counter is read outside it, so the consumer can
+/// dequeue a slot the producer has not filled.
+pub fn queue_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.queue_bad");
+    let slots = p.global_array_zeroed("slots", 8);
+    let count = p.global("count", 0);
+    let m = p.mutex("m");
+    let producer = p.thread("producer", |b| {
+        let c = b.local("c");
+        b.for_range("i", 0, 4, |b, i| {
+            // The occupancy counter is published *before* the slot is filled,
+            // which is the bug: a consumer that reads the counter in between
+            // dequeues an empty slot.
+            b.load(count, c);
+            b.store(count, add(c, 1));
+            b.lock(m);
+            b.store(slots.at(c), add(i, 10));
+            b.unlock(m);
+        });
+    });
+    let consumer = p.thread("consumer", |b| {
+        let c = b.local("c");
+        let v = b.local("v");
+        b.for_range("i", 0, 4, |b, _i| {
+            b.load(count, c);
+            b.if_(gt(c, 0), |b| {
+                b.lock(m);
+                b.load(slots.at(sub(c, 1)), v);
+                b.unlock(m);
+                b.assert_cond(ge(v, 10), "dequeued slot was produced");
+            });
+        });
+    });
+    p.main(|b| {
+        b.spawn(producer);
+        b.spawn(consumer);
+    });
+    p.build().expect("queue_bad builds")
+}
+
+/// The `CS.reorder_X_bad` family: `X - 1` setter threads write `a = 1` then
+/// `b = 1`; one checker thread reads `a` then `b` and asserts it never sees
+/// the "reordered" view `a == 0 ∧ b == 1`. Exposing the bug needs one
+/// preemption but — because the checker is created last — a growing number of
+/// delays as setters are added. This is exactly the adversarial delay-bounding
+/// example of §2 (Example 2) and the paper calls it out by name.
+fn reorder(threads_launched: u32) -> Program {
+    let setters = threads_launched - 1;
+    let mut p = ProgramBuilder::new(format!("CS.reorder_{threads_launched}_bad"));
+    let a = p.global("a", 0);
+    let bvar = p.global("b", 0);
+    let setter = p.thread("setter", |b| {
+        b.store(a, 1);
+        b.store(bvar, 1);
+    });
+    let checker = p.thread("checker", |b| {
+        let ra = b.local("ra");
+        let rb = b.local("rb");
+        b.load(a, ra);
+        b.load(bvar, rb);
+        b.assert_cond(not(and(eq(ra, 0), eq(rb, 1))), "no reordered view (a==0 && b==1)");
+    });
+    p.main(move |b| {
+        for _ in 0..setters {
+            b.spawn(setter);
+        }
+        b.spawn(checker);
+    });
+    p.build().expect("reorder builds")
+}
+
+/// `CS.reorder_3_bad` — see [`reorder`].
+pub fn reorder_3_bad() -> Program {
+    reorder(3)
+}
+/// `CS.reorder_4_bad` — see [`reorder`].
+pub fn reorder_4_bad() -> Program {
+    reorder(4)
+}
+/// `CS.reorder_5_bad` — see [`reorder`].
+pub fn reorder_5_bad() -> Program {
+    reorder(5)
+}
+/// `CS.reorder_10_bad` — see [`reorder`].
+pub fn reorder_10_bad() -> Program {
+    reorder(10)
+}
+/// `CS.reorder_20_bad` — see [`reorder`].
+pub fn reorder_20_bad() -> Program {
+    reorder(20)
+}
+
+/// `CS.stack_bad` — an array-based stack: the pusher updates the stack under
+/// a lock but the popper omits the lock, so it can observe the top-of-stack
+/// counter before the corresponding slot has been written.
+pub fn stack_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.stack_bad");
+    let stack = p.global_array_zeroed("stack", 8);
+    let top = p.global("top", 0);
+    let m = p.mutex("m");
+    let pusher = p.thread("pusher", |b| {
+        let t = b.local("t");
+        b.for_range("i", 0, 4, |b, i| {
+            b.lock(m);
+            b.load(top, t);
+            b.store(top, add(t, 1));
+            b.store(stack.at(t), add(i, 1));
+            b.unlock(m);
+        });
+    });
+    let popper = p.thread("popper", |b| {
+        let t = b.local("t");
+        let v = b.local("v");
+        b.for_range("i", 0, 4, |b, _i| {
+            b.load(top, t);
+            b.if_(gt(t, 0), |b| {
+                b.load(stack.at(sub(t, 1)), v);
+                b.assert_cond(gt(v, 0), "popped a fully pushed element");
+            });
+        });
+    });
+    p.main(|b| {
+        b.spawn(pusher);
+        b.spawn(popper);
+    });
+    p.build().expect("stack_bad builds")
+}
+
+/// `CS.sync01_bad` — a semaphore handshake whose final assertion is simply
+/// wrong (the paper classifies this bug as not even schedule-dependent).
+pub fn sync01_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.sync01_bad");
+    let value = p.global("value", 0);
+    let s = p.sem("s", 0);
+    let producer = p.thread("producer", |b| {
+        b.store(value, 1);
+        b.sem_post(s);
+    });
+    let consumer = p.thread("consumer", |b| {
+        let r = b.local("r");
+        b.sem_wait(s);
+        b.load(value, r);
+        b.assert_cond(eq(r, 2), "consumer expects 2 but the producer writes 1");
+    });
+    p.main(|b| {
+        b.spawn(producer);
+        b.spawn(consumer);
+    });
+    p.build().expect("sync01_bad builds")
+}
+
+/// `CS.sync02_bad` — as [`sync01_bad`] but with a condition-variable
+/// handshake.
+pub fn sync02_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.sync02_bad");
+    let value = p.global("value", 0);
+    let ready = p.global("ready", 0);
+    let m = p.mutex("m");
+    let cv = p.condvar("cv");
+    let producer = p.thread("producer", |b| {
+        b.lock(m);
+        b.store(value, 1);
+        b.store(ready, 1);
+        b.signal(cv);
+        b.unlock(m);
+    });
+    let consumer = p.thread("consumer", |b| {
+        let r = b.local("r");
+        let rd = b.local("rd");
+        b.lock(m);
+        b.load(ready, rd);
+        b.while_(eq(rd, 0), |b| {
+            b.wait(cv, m);
+            b.load(ready, rd);
+        });
+        b.load(value, r);
+        b.unlock(m);
+        b.assert_cond(eq(r, 2), "consumer expects 2 but the producer writes 1");
+    });
+    p.main(|b| {
+        b.spawn(producer);
+        b.spawn(consumer);
+    });
+    p.build().expect("sync02_bad builds")
+}
+
+/// `CS.token_ring_bad` — four threads forward a token around a ring, but no
+/// thread waits for the token to arrive before forwarding, so the chain only
+/// produces the expected value when the threads happen to run in ring order.
+pub fn token_ring_bad() -> Program {
+    let mut p = ProgramBuilder::new("CS.token_ring_bad");
+    let cells = p.global_array_zeroed("cells", 5);
+    let mut workers = Vec::new();
+    for i in 0..4u32 {
+        let w = p.thread(format!("node{i}"), move |b| {
+            let r = b.local("r");
+            b.load(cells.at(i), r);
+            b.store(cells.at(i + 1), add(r, 1));
+        });
+        workers.push(w);
+    }
+    p.main(move |b| {
+        let h = b.local("h");
+        b.store(cells.at(0), 0);
+        for &w in &workers {
+            b.spawn(w);
+        }
+        // Join only the last node: on the default schedule the ring runs in
+        // creation order and the token value is correct.
+        b.assign(h, 4); // thread ids are assigned in creation order: 1..=4
+        b.join(h);
+        let r = b.local("r");
+        b.load(cells.at(4), r);
+        b.assert_cond(eq(r, 4), "token passed through all four nodes");
+    });
+    p.build().expect("token_ring_bad builds")
+}
+
+/// The `CS.twostage_X_bad` family: a worker publishes `data1` in a first
+/// lock-protected stage and derives `data2 = data1 + 1` in a second stage; a
+/// reader that interleaves between the stages observes `data1 != 0` but
+/// `data2 == 0` and the derived-value assertion fails. `extra` additional
+/// worker/reader pairs inflate the thread count (the `twostage_100` variant).
+fn twostage(total_threads: u32) -> Program {
+    let mut p = ProgramBuilder::new(if total_threads == 2 {
+        "CS.twostage_bad".to_string()
+    } else {
+        format!("CS.twostage_{total_threads}_bad")
+    });
+    let data1 = p.global("data1", 0);
+    let data2 = p.global("data2", 0);
+    let l1 = p.mutex("lock1");
+    let l2 = p.mutex("lock2");
+    let worker = p.thread("worker", |b| {
+        let r = b.local("r");
+        b.lock(l1);
+        b.store(data1, 1);
+        b.unlock(l1);
+        b.lock(l2);
+        b.load(data1, r);
+        b.store(data2, add(r, 1));
+        b.unlock(l2);
+    });
+    let reader = p.thread("reader", |b| {
+        let r1 = b.local("r1");
+        let r2 = b.local("r2");
+        b.lock(l1);
+        b.load(data1, r1);
+        b.unlock(l1);
+        b.lock(l2);
+        b.load(data2, r2);
+        b.unlock(l2);
+        b.if_(ne(r1, 0), |b| {
+            b.assert_cond(eq(r2, add(r1, 1)), "data2 was derived from data1");
+        });
+    });
+    let workers = total_threads - 1;
+    p.main(move |b| {
+        // One real worker plus (workers - 1) extra workers; the reader is
+        // created last, as in the original benchmark.
+        for _ in 0..workers {
+            b.spawn(worker);
+        }
+        b.spawn(reader);
+    });
+    p.build().expect("twostage builds")
+}
+
+/// `CS.twostage_bad` — see [`twostage`] (3 threads launched... the original
+/// launches 2 workers and 1 reader).
+pub fn twostage_bad() -> Program {
+    twostage(2)
+}
+
+/// `CS.twostage_100_bad` — see [`twostage`]; 100 threads launched.
+pub fn twostage_100_bad() -> Program {
+    twostage(100)
+}
+
+/// The `CS.wronglock_X_bad` family: a writer updates shared data under lock
+/// `A`; `X` readers read the data twice under lock `B` (the *wrong* lock) and
+/// assert the two reads agree.
+fn wronglock(readers: u32) -> Program {
+    let mut p = ProgramBuilder::new(if readers == 7 {
+        "CS.wronglock_bad".to_string()
+    } else {
+        format!("CS.wronglock_{}_bad", readers)
+    });
+    let data = p.global("data", 0);
+    let lock_a = p.mutex("A");
+    let lock_b = p.mutex("B");
+    let writer = p.thread("writer", |b| {
+        let r = b.local("r");
+        b.lock(lock_a);
+        b.load(data, r);
+        b.store(data, add(r, 1));
+        b.unlock(lock_a);
+    });
+    let reader = p.thread("reader", |b| {
+        let r1 = b.local("r1");
+        let r2 = b.local("r2");
+        b.lock(lock_b);
+        b.load(data, r1);
+        b.load(data, r2);
+        b.unlock(lock_b);
+        b.assert_cond(eq(r1, r2), "data stable while holding the (wrong) lock");
+    });
+    p.main(move |b| {
+        b.spawn(writer);
+        for _ in 0..readers {
+            b.spawn(reader);
+        }
+    });
+    p.build().expect("wronglock builds")
+}
+
+/// `CS.wronglock_3_bad` — see [`wronglock`]; 3 readers.
+pub fn wronglock_3_bad() -> Program {
+    wronglock(3)
+}
+
+/// `CS.wronglock_bad` — see [`wronglock`]; 7 readers.
+pub fn wronglock_bad() -> Program {
+    wronglock(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    fn limits() -> ExploreLimits {
+        ExploreLimits::with_schedule_limit(2_000)
+    }
+
+    fn idb(program: &sct_ir::Program) -> ExplorationStats {
+        iterative_bounding(program, &ExecConfig::all_visible(), BoundKind::Delay, &limits())
+    }
+
+    #[test]
+    fn account_bad_is_found_by_delay_bounding() {
+        let stats = idb(&account_bad());
+        assert!(stats.found_bug());
+        assert!(stats.bound_of_first_bug.unwrap() <= 2);
+    }
+
+    #[test]
+    fn bluetooth_driver_needs_at_least_one_delay() {
+        let stats = idb(&bluetooth_driver_bad());
+        assert!(stats.found_bug());
+        assert!(stats.bound_of_first_bug.unwrap() >= 1);
+    }
+
+    #[test]
+    fn dining_philosophers_deadlock_on_the_first_schedule() {
+        for n in [2u32, 3, 5] {
+            let stats = idb(&din_phil_sat(n));
+            assert!(stats.found_bug(), "din_phil{n} bug missed");
+            assert_eq!(stats.bound_of_first_bug, Some(0), "din_phil{n}");
+            assert_eq!(stats.schedules_to_first_bug, Some(1), "din_phil{n}");
+        }
+    }
+
+    #[test]
+    fn deadlock01_requires_a_preemption() {
+        let stats = idb(&deadlock01_bad());
+        assert!(stats.found_bug());
+        assert!(stats.bound_of_first_bug.unwrap() >= 1);
+        assert!(matches!(
+            stats.first_bug,
+            Some(sct_runtime::Bug::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_benchmarks_fail_on_the_default_schedule() {
+        for (name, prog) in [
+            ("arithmetic_prog", arithmetic_prog_bad()),
+            ("fsbench", fsbench_bad()),
+            ("lazy01", lazy01_bad()),
+            ("phase01", phase01_bad()),
+            ("sync01", sync01_bad()),
+            ("sync02", sync02_bad()),
+        ] {
+            let stats = idb(&prog);
+            assert_eq!(stats.bound_of_first_bug, Some(0), "{name}");
+            assert_eq!(stats.schedules_to_first_bug, Some(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn reorder_delay_bound_grows_with_thread_count() {
+        let big = ExploreLimits::with_schedule_limit(10_000);
+        let b3 = iterative_bounding(
+            &reorder_3_bad(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &big,
+        )
+        .bound_of_first_bug
+        .unwrap();
+        let b4 = iterative_bounding(
+            &reorder_4_bad(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &big,
+        )
+        .bound_of_first_bug
+        .unwrap();
+        assert!(b3 >= 1);
+        assert!(
+            b4 > b3,
+            "more setter threads must require more delays ({b3} vs {b4})"
+        );
+        // Preemption bounding is insensitive to the extra threads.
+        let p3 = iterative_bounding(
+            &reorder_3_bad(),
+            &ExecConfig::all_visible(),
+            BoundKind::Preemption,
+            &big,
+        );
+        let p4 = iterative_bounding(
+            &reorder_4_bad(),
+            &ExecConfig::all_visible(),
+            BoundKind::Preemption,
+            &big,
+        );
+        assert_eq!(p3.bound_of_first_bug, p4.bound_of_first_bug);
+    }
+
+    #[test]
+    fn wronglock_and_stack_and_queue_bugs_are_schedule_dependent() {
+        for (name, prog) in [
+            ("wronglock_3", wronglock_3_bad()),
+            ("stack", stack_bad()),
+            ("queue", queue_bad()),
+            ("circular_buffer", circular_buffer_bad()),
+            ("twostage", twostage_bad()),
+            ("carter01", carter01_bad()),
+            ("token_ring", token_ring_bad()),
+        ] {
+            let stats = idb(&prog);
+            assert!(stats.found_bug(), "{name}: bug not found");
+            assert!(
+                stats.bound_of_first_bug.unwrap() >= 1,
+                "{name}: expected a schedule-dependent bug, found at bound 0"
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The Inspect suite. Of the 29 Inspect benchmarks the study kept a single
+//! one, `qsort_mt`, the only one in which testing revealed a bug (§4.1).
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+/// `inspect.qsort_mt` — a multi-threaded quicksort: the parent partitions the
+/// array, hands each half to a worker and waits on a semaphore. The bug is an
+/// order violation in the completion protocol: each worker signals completion
+/// *before* writing its last element back, so the parent can observe a
+/// half-sorted array and the final sortedness check fails.
+pub fn qsort_mt() -> Program {
+    let mut p = ProgramBuilder::new("inspect.qsort_mt");
+    // The array to sort; each worker "sorts" one half by writing the sorted
+    // values (the comparison logic itself is irrelevant to the bug).
+    let array = p.global_array("array", vec![3, 0, 7, 4]);
+    let done = p.sem("done", 0);
+
+    let mut workers = Vec::new();
+    for w in 0..2u32 {
+        let base = (w * 2) as i64;
+        let lo = base;
+        let hi = base + 1;
+        let sorted_lo = if w == 0 { 1 } else { 5 };
+        let sorted_hi = if w == 0 { 3 } else { 7 };
+        let worker = p.thread(format!("sorter{w}"), move |b| {
+            b.store(array.at(lo), sorted_lo);
+            // BUG: completion is signalled before the final element is
+            // written back.
+            b.sem_post(done);
+            b.store(array.at(hi), sorted_hi);
+        });
+        workers.push(worker);
+    }
+
+    p.main(move |b| {
+        for &w in &workers {
+            b.spawn(w);
+        }
+        b.sem_wait(done);
+        b.sem_wait(done);
+        // Verify the array is sorted.
+        let prev = b.local("prev");
+        let cur = b.local("cur");
+        b.load(array.at(0), prev);
+        b.for_range("i", 1, 4, |b, i| {
+            b.load(array.at(i), cur);
+            b.assert_cond(le(prev, cur), "array is sorted");
+            b.assign(prev, cur);
+        });
+    });
+    p.build().expect("qsort_mt builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    #[test]
+    fn qsort_mt_is_clean_on_the_default_schedule_and_buggy_with_one_delay() {
+        let zero = explore::bounded_dfs(
+            &qsort_mt(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            0,
+            &ExploreLimits::with_schedule_limit(10),
+        );
+        assert!(!zero.found_bug());
+        let stats = iterative_bounding(
+            &qsort_mt(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(5_000),
+        );
+        assert!(stats.found_bug());
+        assert_eq!(stats.bound_of_first_bug, Some(1));
+    }
+}

@@ -1,0 +1,41 @@
+//! # sctbench
+//!
+//! A Rust port of **SCTBench**, the collection of 52 buggy concurrent
+//! benchmarks assembled by the PPoPP'14 study "Concurrency Testing Using
+//! Schedule Bounding: an Empirical Study" (Thomson, Donaldson, Betts).
+//!
+//! The original benchmarks are C/C++ pthread programs (or programs translated
+//! to pthreads by the authors); here each benchmark is re-expressed as an
+//! [`sct_ir::Program`] that preserves the *scheduling structure* of the
+//! original bug — the number of threads, the synchronisation skeleton and the
+//! ordering constraint that makes the bug manifest — rather than the
+//! application logic around it. Per-benchmark fidelity notes live in the doc
+//! comment of each constructor and in the repository's `DESIGN.md`.
+//!
+//! Benchmarks are grouped by suite exactly as in Table 1 of the paper:
+//!
+//! | module | suite | # benchmarks |
+//! |---|---|---|
+//! | [`cb`] | CB (Concurrency Bugs) | 3 |
+//! | [`chess`] | CHESS work-stealing queue | 4 |
+//! | [`cs`] | CS (Concurrency Software / ESBMC) | 29 |
+//! | [`inspect`] | Inspect | 1 |
+//! | [`misc`] | Miscellaneous (safestack, ctrace) | 2 |
+//! | [`parsec`] | PARSEC 2.0 | 4 |
+//! | [`radbench`] | RADBench | 6 |
+//! | [`splash2`] | SPLASH-2 | 3 |
+//!
+//! The [`registry`] module exposes all 52 benchmarks with their Table 3
+//! metadata, which the experiment harness iterates over.
+
+pub mod cb;
+pub mod chess;
+pub mod cs;
+pub mod inspect;
+pub mod misc;
+pub mod parsec;
+pub mod radbench;
+pub mod registry;
+pub mod splash2;
+
+pub use registry::{all_benchmarks, benchmark_by_name, BenchmarkSpec, BugKind, PaperRow, Suite};

@@ -1,0 +1,194 @@
+//! The miscellaneous benchmarks: Dmitry Vyukov's `safestack` lock-free stack
+//! (posted to the CHESS forum; the paper reports it needs at least three
+//! threads and five preemptions) and the `ctrace` multithreaded debugging
+//! library test case.
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+/// `misc.safestack` — a Treiber-style lock-free stack of pre-allocated node
+/// indices with three worker threads that repeatedly pop a node, briefly
+/// "own" it and push it back. The node links (`next`) are read non-atomically
+/// while the head is manipulated with compare-and-swap, so an ABA-style
+/// interleaving lets two threads own the same node simultaneously; each
+/// acquisition asserts exclusive ownership.
+///
+/// Fidelity: the original `safestack.c` uses a counted head and index array
+/// with C++11 atomics; the bug reported there also manifests under sequential
+/// consistency (which is what our runtime explores). The port keeps the
+/// three-worker structure and the deep interleaving requirement (several
+/// preemptions across two threads' pop/push sequences); the exact number of
+/// preemptions required may differ from the original's five.
+pub fn safestack() -> Program {
+    let mut p = ProgramBuilder::new("misc.safestack");
+    // head holds (node index + 1); 0 means empty.
+    let head = p.global("head", 1);
+    // next[i] holds the successor encoding for node i (again index + 1).
+    let next = p.global_array("next", vec![2, 3, 0]);
+    let owned = p.global_array_zeroed("owned", 3);
+
+    let worker = p.thread("worker", move |b| {
+        b.for_range("iter", 0, 2, |b, _iter| {
+            let h = b.local("h");
+            let succ = b.local("succ");
+            let ok = b.local("ok");
+            let popped = b.local("popped");
+            let attempts = b.local("attempts");
+            b.assign(popped, -1);
+            b.assign(attempts, 0);
+            b.assign(ok, 0);
+            // pop(): CAS the head from h to next[h-1].
+            b.while_(and(eq(ok, 0), lt(attempts, 4)), |b| {
+                b.assign(attempts, add(attempts, 1));
+                b.atomic_load(head, h);
+                b.if_else(
+                    eq(h, 0),
+                    |b| {
+                        // Stack observed empty: stop trying this round.
+                        b.assign(ok, 1);
+                        b.assign(popped, -1);
+                    },
+                    |b| {
+                        // BUG: the link is read non-atomically and may be
+                        // stale by the time the CAS succeeds (ABA).
+                        b.load(next.at(sub(h, 1)), succ);
+                        b.cas(head, h, succ, ok);
+                        b.if_(ne(ok, 0), |b| {
+                            b.assign(popped, sub(h, 1));
+                        });
+                    },
+                );
+            });
+            b.if_(ge(popped, 0), |b| {
+                // Acquire exclusive ownership of the node.
+                let prev = b.local("prev");
+                b.fetch_add_into(owned.at(popped), 1, prev);
+                b.assert_cond(eq(prev, 0), "node owned by a single thread");
+                // ... the original dereferences the node here ...
+                b.fetch_add_into(owned.at(popped), -1, prev);
+                // push(): link the node back in with CAS on the head.
+                let pushed = b.local("pushed");
+                let tries = b.local("tries");
+                b.assign(pushed, 0);
+                b.assign(tries, 0);
+                b.while_(and(eq(pushed, 0), lt(tries, 4)), |b| {
+                    b.assign(tries, add(tries, 1));
+                    b.atomic_load(head, h);
+                    b.store(next.at(popped), h);
+                    b.cas(head, h, add(popped, 1), pushed);
+                });
+            });
+        });
+    });
+
+    p.main(|b| {
+        b.spawn(worker);
+        b.spawn(worker);
+        b.spawn(worker);
+    });
+    p.build().expect("safestack builds")
+}
+
+/// `misc.ctrace-test` — the `ctrace` multithreaded debugging library: two
+/// threads emit trace events into a shared buffer whose write index is not
+/// synchronised. Lost index updates corrupt the trace; the test's final
+/// consistency check (added by the study's authors, who obtained the test
+/// from the Portend authors) then reports the corruption.
+pub fn ctrace_test() -> Program {
+    let mut p = ProgramBuilder::new("misc.ctrace-test");
+    let trace_buf = p.global_array_zeroed("trace_buf", 8);
+    let trace_idx = p.global("trace_idx", 0);
+
+    let tracer = p.thread("tracer", |b| {
+        let i = b.local("i");
+        b.for_range("e", 0, 2, |b, _e| {
+            // CTRC_ENTER / CTRC_EXIT: append an event to the trace buffer.
+            b.load(trace_idx, i);
+            b.store(trace_buf.at(i), 1);
+            b.store(trace_idx, add(i, 1));
+        });
+    });
+
+    p.main(|b| {
+        let h1 = b.local("h1");
+        let h2 = b.local("h2");
+        b.spawn_into(tracer, h1);
+        b.spawn_into(tracer, h2);
+        b.join(h1);
+        b.join(h2);
+        let n = b.local("n");
+        b.load(trace_idx, n);
+        b.if_(ne(n, 4), |b| {
+            b.fail("ctrace: trace buffer corrupted (events lost)");
+        });
+    });
+    p.build().expect("ctrace_test builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    #[test]
+    fn ctrace_corruption_needs_a_preemption_and_is_found() {
+        let zero = explore::bounded_dfs(
+            &ctrace_test(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            0,
+            &ExploreLimits::with_schedule_limit(10),
+        );
+        assert!(!zero.found_bug());
+        let stats = iterative_bounding(
+            &ctrace_test(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(5_000),
+        );
+        assert!(stats.found_bug());
+        assert!(stats.bound_of_first_bug.unwrap() >= 1);
+    }
+
+    #[test]
+    fn safestack_round_robin_schedule_is_clean() {
+        let zero = explore::bounded_dfs(
+            &safestack(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            0,
+            &ExploreLimits::with_schedule_limit(10),
+        );
+        assert!(!zero.found_bug(), "safestack must not fail on the RR schedule");
+    }
+
+    #[test]
+    fn safestack_double_ownership_is_not_exposed_by_small_delay_bounds() {
+        // The paper reports the bug needs at least five preemptions; with a
+        // small delay bound it must stay hidden.
+        let stats = explore::bounded_dfs(
+            &safestack(),
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            1,
+            &ExploreLimits::with_schedule_limit(2_000),
+        );
+        assert!(
+            !stats.found_bug(),
+            "safestack should not be exposed with a single delay"
+        );
+    }
+
+    #[test]
+    #[ignore = "long-running: exhaustive search for the deep safestack interleaving"]
+    fn safestack_double_ownership_exists() {
+        let stats = explore::run_technique(
+            &safestack(),
+            &ExecConfig::all_visible(),
+            Technique::Random { seed: 7 },
+            &ExploreLimits::with_schedule_limit(200_000),
+        );
+        assert!(stats.found_bug());
+    }
+}

@@ -1,0 +1,437 @@
+//! The benchmark registry: all 52 SCTBench entries with their suite, bug
+//! kind and the results the paper reports for them (Table 3), which the
+//! harness uses for the paper-vs-measured comparison in EXPERIMENTS.md.
+
+use sct_ir::Program;
+
+/// Benchmark suites (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// Concurrency Bugs benchmarks (Yu & Narayanasamy).
+    Cb,
+    /// CHESS work-stealing queue tests.
+    Chess,
+    /// Concurrency Software benchmarks (ESBMC).
+    Cs,
+    /// Inspect benchmarks.
+    Inspect,
+    /// Miscellaneous (safestack, ctrace).
+    Misc,
+    /// PARSEC 2.0.
+    Parsec,
+    /// RADBench.
+    RadBench,
+    /// SPLASH-2.
+    Splash2,
+}
+
+impl Suite {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Cb => "CB",
+            Suite::Chess => "CHESS",
+            Suite::Cs => "CS",
+            Suite::Inspect => "Inspect",
+            Suite::Misc => "Miscellaneous",
+            Suite::Parsec => "PARSEC",
+            Suite::RadBench => "RADBenchmark",
+            Suite::Splash2 => "SPLASH-2",
+        }
+    }
+
+    /// Short description of the suite, as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            Suite::Cb => "Test cases for real applications",
+            Suite::Chess => "Test cases for several versions of a work stealing queue",
+            Suite::Cs => "Small test cases and some small programs",
+            Suite::Inspect => "Small test cases and some small programs",
+            Suite::Misc => "Test case for lock-free stack and a debugging library test case",
+            Suite::Parsec => "Parallel workloads",
+            Suite::RadBench => "Tests cases for real applications",
+            Suite::Splash2 => "Parallel workloads",
+        }
+    }
+
+    /// Number of benchmarks the paper *skipped* from this suite and why
+    /// (Table 1's "# skipped" column), reproduced as metadata.
+    pub fn skipped(self) -> (u32, &'static str) {
+        match self {
+            Suite::Cb => (17, "networked applications"),
+            Suite::Chess => (0, ""),
+            Suite::Cs => (24, "non-buggy"),
+            Suite::Inspect => (28, "non-buggy"),
+            Suite::Misc => (0, ""),
+            Suite::Parsec => (29, "non-buggy"),
+            Suite::RadBench => (9, "5 Chromium browser; 4 networking"),
+            Suite::Splash2 => (9, "similar bugs / macro issues (see paper)"),
+        }
+    }
+
+    /// All suites in Table 1 order.
+    pub fn all() -> [Suite; 8] {
+        [
+            Suite::Cb,
+            Suite::Chess,
+            Suite::Cs,
+            Suite::Inspect,
+            Suite::Misc,
+            Suite::Parsec,
+            Suite::RadBench,
+            Suite::Splash2,
+        ]
+    }
+}
+
+/// The kind of defect the benchmark exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugKind {
+    /// Assertion failure (including incorrect-output checks).
+    Assertion,
+    /// Deadlock.
+    Deadlock,
+    /// Crash-like failure (out-of-bounds access, use of destroyed objects,
+    /// double unlock, heap corruption models).
+    Crash,
+}
+
+/// Results the paper reports for this benchmark (Table 3), used only for the
+/// paper-vs-measured comparison; `None` bounds mean the technique missed the
+/// bug within the 10,000-schedule limit.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// "# threads" column.
+    pub threads: u32,
+    /// "# max enabled threads" column.
+    pub max_enabled: u32,
+    /// IPB: smallest preemption bound that exposed the bug.
+    pub ipb_bound: Option<u32>,
+    /// IDB: smallest delay bound that exposed the bug.
+    pub idb_bound: Option<u32>,
+    /// Whether unbounded DFS found the bug within 10,000 schedules.
+    pub dfs_found: bool,
+    /// Whether the naive random scheduler found the bug within 10,000 runs.
+    pub rand_found: bool,
+    /// Whether the Maple algorithm found the bug.
+    pub maple_found: bool,
+}
+
+/// One SCTBench entry.
+#[derive(Clone)]
+pub struct BenchmarkSpec {
+    /// Row id in Table 3 (0–51).
+    pub id: usize,
+    /// Benchmark name, e.g. `"CS.account_bad"`.
+    pub name: &'static str,
+    /// Suite the benchmark belongs to.
+    pub suite: Suite,
+    /// The kind of bug the benchmark exhibits.
+    pub bug_kind: BugKind,
+    /// Constructor for the program.
+    pub build: fn() -> Program,
+    /// The paper's Table 3 numbers for this benchmark.
+    pub paper: PaperRow,
+    /// Fidelity notes for the port.
+    pub notes: &'static str,
+}
+
+impl std::fmt::Debug for BenchmarkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkSpec")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("bug_kind", &self.bug_kind)
+            .finish()
+    }
+}
+
+impl BenchmarkSpec {
+    /// Build the benchmark program.
+    pub fn program(&self) -> Program {
+        (self.build)()
+    }
+}
+
+fn row(
+    threads: u32,
+    max_enabled: u32,
+    ipb_bound: Option<u32>,
+    idb_bound: Option<u32>,
+    dfs_found: bool,
+    rand_found: bool,
+    maple_found: bool,
+) -> PaperRow {
+    PaperRow {
+        threads,
+        max_enabled,
+        ipb_bound,
+        idb_bound,
+        dfs_found,
+        rand_found,
+        maple_found,
+    }
+}
+
+/// All 52 benchmarks in Table 3 order.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    use BugKind::*;
+    use Suite::*;
+    let mut v: Vec<BenchmarkSpec> = Vec::with_capacity(52);
+    let mut push = |name: &'static str,
+                    suite: Suite,
+                    bug_kind: BugKind,
+                    build: fn() -> Program,
+                    paper: PaperRow,
+                    notes: &'static str| {
+        let id = v.len();
+        v.push(BenchmarkSpec {
+            id,
+            name,
+            suite,
+            bug_kind,
+            build,
+            paper,
+            notes,
+        });
+    };
+
+    // id 0-2: CB
+    push("CB.aget-bug2", Cb, Assertion, crate::cb::aget_bug2,
+         row(4, 3, Some(0), Some(0), true, true, true),
+         "network download modelled as chunk writes; interrupt handler modelled as a thread; output check added");
+    push("CB.pbzip2-0.9.4", Cb, Crash, crate::cb::pbzip2,
+         row(4, 4, Some(0), Some(1), true, true, true),
+         "compression replaced by queue traffic; bug preserved: main destroys the queue mutex while consumers still use it");
+    push("CB.stringbuffer-jdk1.4", Cb, Crash, crate::cb::stringbuffer_jdk14,
+         row(2, 2, Some(2), Some(2), true, true, true),
+         "StringBuffer.append length check vs concurrent erase; copy loop reads out of bounds");
+
+    // id 3-31: CS
+    push("CS.account_bad", Cs, Assertion, crate::cs::account_bad,
+         row(4, 3, Some(0), Some(1), true, true, true),
+         "bank account with unsynchronised balance update");
+    push("CS.arithmetic_prog_bad", Cs, Assertion, crate::cs::arithmetic_prog_bad,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "arithmetic progression computed by two racing threads");
+    push("CS.bluetooth_driver_bad", Cs, Assertion, crate::cs::bluetooth_driver_bad,
+         row(2, 2, Some(1), Some(1), true, true, false),
+         "classic stopping-flag vs dispatch driver model");
+    push("CS.carter01_bad", Cs, Assertion, crate::cs::carter01_bad,
+         row(5, 3, Some(1), Some(1), true, true, true),
+         "lock-protected update with a check outside the lock");
+    push("CS.circular_buffer_bad", Cs, Assertion, crate::cs::circular_buffer_bad,
+         row(3, 2, Some(1), Some(2), true, true, false),
+         "single-producer single-consumer ring buffer without synchronisation");
+    push("CS.deadlock01_bad", Cs, Deadlock, crate::cs::deadlock01_bad,
+         row(3, 2, Some(1), Some(1), true, true, false),
+         "two mutexes acquired in opposite orders");
+    push("CS.din_phil2_sat", Cs, Deadlock, crate::cs::din_phil_sat_2,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "dining philosophers, 2 philosophers, all grab left fork first");
+    push("CS.din_phil3_sat", Cs, Deadlock, crate::cs::din_phil_sat_3,
+         row(4, 3, Some(0), Some(0), true, true, true), "3 philosophers");
+    push("CS.din_phil4_sat", Cs, Deadlock, crate::cs::din_phil_sat_4,
+         row(5, 4, Some(0), Some(0), true, true, true), "4 philosophers");
+    push("CS.din_phil5_sat", Cs, Deadlock, crate::cs::din_phil_sat_5,
+         row(6, 5, Some(0), Some(0), true, true, true), "5 philosophers");
+    push("CS.din_phil6_sat", Cs, Deadlock, crate::cs::din_phil_sat_6,
+         row(7, 6, Some(0), Some(0), true, true, true), "6 philosophers");
+    push("CS.din_phil7_sat", Cs, Deadlock, crate::cs::din_phil_sat_7,
+         row(8, 7, Some(0), Some(0), true, true, true), "7 philosophers");
+    push("CS.fsbench_bad", Cs, Assertion, crate::cs::fsbench_bad,
+         row(28, 27, Some(0), Some(0), true, true, true),
+         "file-system benchmark model: 27 workers race on a block bitmap; every schedule is buggy");
+    push("CS.lazy01_bad", Cs, Assertion, crate::cs::lazy01_bad,
+         row(4, 3, Some(0), Some(0), true, true, true),
+         "three workers add to a lock-protected counter; the check admits only some interleavings");
+    push("CS.phase01_bad", Cs, Assertion, crate::cs::phase01_bad,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "two-phase protocol whose invariant fails on the default schedule");
+    push("CS.queue_bad", Cs, Assertion, crate::cs::queue_bad,
+         row(3, 2, Some(1), Some(2), true, true, true),
+         "bounded queue with racy occupancy counter");
+    push("CS.reorder_10_bad", Cs, Assertion, crate::cs::reorder_10_bad,
+         row(11, 10, None, Some(4), false, false, false),
+         "adversarial delay-bounding example with 10 setter threads");
+    push("CS.reorder_20_bad", Cs, Assertion, crate::cs::reorder_20_bad,
+         row(21, 20, None, Some(3), false, false, false),
+         "adversarial delay-bounding example with 20 setter threads");
+    push("CS.reorder_3_bad", Cs, Assertion, crate::cs::reorder_3_bad,
+         row(4, 3, Some(1), Some(2), true, false, false),
+         "adversarial delay-bounding example with 3 setter threads");
+    push("CS.reorder_4_bad", Cs, Assertion, crate::cs::reorder_4_bad,
+         row(5, 4, Some(1), Some(3), true, false, false), "4 setter threads");
+    push("CS.reorder_5_bad", Cs, Assertion, crate::cs::reorder_5_bad,
+         row(6, 5, Some(1), Some(4), false, false, false), "5 setter threads");
+    push("CS.stack_bad", Cs, Assertion, crate::cs::stack_bad,
+         row(3, 2, Some(1), Some(1), true, true, false),
+         "array stack with a racy top-of-stack counter");
+    push("CS.sync01_bad", Cs, Assertion, crate::cs::sync01_bad,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "semaphore handshake whose assertion fails on every schedule");
+    push("CS.sync02_bad", Cs, Assertion, crate::cs::sync02_bad,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "condvar handshake whose assertion fails on every schedule");
+    push("CS.token_ring_bad", Cs, Assertion, crate::cs::token_ring_bad,
+         row(5, 4, Some(0), Some(2), true, true, true),
+         "four threads pass a token around a ring without waiting for it");
+    push("CS.twostage_100_bad", Cs, Assertion, crate::cs::twostage_100_bad,
+         row(101, 100, None, Some(2), false, false, false),
+         "two-stage locking bug amplified to 100 threads");
+    push("CS.twostage_bad", Cs, Assertion, crate::cs::twostage_bad,
+         row(3, 2, Some(1), Some(1), true, true, true),
+         "two-stage locking: the second stage reads a value published in the first stage without ordering");
+    push("CS.wronglock_3_bad", Cs, Assertion, crate::cs::wronglock_3_bad,
+         row(5, 4, Some(1), Some(1), true, true, true),
+         "3 readers take a different lock than the writer");
+    push("CS.wronglock_bad", Cs, Assertion, crate::cs::wronglock_bad,
+         row(9, 8, None, Some(1), false, true, true),
+         "7 readers take a different lock than the writer");
+
+    // id 32-35: CHESS
+    push("chess.IWSQ", Chess, Assertion, crate::chess::iwsq,
+         row(3, 3, None, Some(2), false, true, false),
+         "interface work-stealing queue: CAS-based take/steal with an off-by-one race");
+    push("chess.IWSQWS", Chess, Assertion, crate::chess::iwsqws,
+         row(3, 3, None, Some(1), false, true, false),
+         "interface work-stealing queue with extra stealing rounds");
+    push("chess.SWSQ", Chess, Assertion, crate::chess::swsq,
+         row(3, 3, None, Some(1), false, true, false),
+         "simple work-stealing queue variant with a larger workload");
+    push("chess.WSQ", Chess, Assertion, crate::chess::wsq,
+         row(3, 3, Some(2), Some(2), false, true, false),
+         "the classic Cilk THE work-stealing deque bug (lost/duplicated item)");
+
+    // id 36: Inspect
+    push("inspect.qsort_mt", Inspect, Assertion, crate::inspect::qsort_mt,
+         row(3, 3, Some(1), Some(1), false, true, false),
+         "multi-threaded quicksort: racy completion counter lets the parent read a half-sorted array");
+
+    // id 37-38: Misc
+    push("misc.ctrace-test", Misc, Crash, crate::misc::ctrace_test,
+         row(3, 2, Some(1), Some(1), true, true, true),
+         "ctrace debugging library: racy trace-buffer index causes an out-of-bounds write");
+    push("misc.safestack", Misc, Assertion, crate::misc::safestack,
+         row(4, 3, None, None, false, false, false),
+         "Vyukov lock-free stack; the ABA-style corruption needs at least 3 threads and ~5 preemptions");
+
+    // id 39-42: PARSEC
+    push("parsec.ferret", Parsec, Assertion, crate::parsec::ferret,
+         row(11, 11, None, Some(1), false, false, true),
+         "pipeline model: a stage thread preempted before publishing its count starves the sink");
+    push("parsec.streamcluster", Parsec, Assertion, crate::parsec::streamcluster,
+         row(5, 2, None, Some(1), false, true, true),
+         "custom barrier with a racy generation check lets a worker run ahead a phase");
+    push("parsec.streamcluster2", Parsec, Deadlock, crate::parsec::streamcluster2,
+         row(7, 3, None, Some(1), false, true, false),
+         "condition-variable barrier with a lost wake-up (older PARSEC version)");
+    push("parsec.streamcluster3", Parsec, Crash, crate::parsec::streamcluster3,
+         row(5, 2, Some(0), Some(1), true, true, true),
+         "out-of-bounds access discovered by the study's memory-safety checker");
+
+    // id 43-48: RADBench
+    push("radbench.bug1", RadBench, Crash, crate::radbench::bug1,
+         row(4, 3, None, None, false, false, false),
+         "SpiderMonkey: hash table destroyed while another thread still uses it; very long executions");
+    push("radbench.bug2", RadBench, Assertion, crate::radbench::bug2,
+         row(2, 2, Some(3), Some(3), false, true, false),
+         "SpiderMonkey state-machine bug requiring three preemptions");
+    push("radbench.bug3", RadBench, Assertion, crate::radbench::bug3,
+         row(3, 2, Some(0), Some(0), true, true, true),
+         "NSPR initialisation bug exposed on the default schedule");
+    push("radbench.bug4", RadBench, Crash, crate::radbench::bug4,
+         row(3, 3, None, None, false, true, true),
+         "NSPR lazily initialised lock created twice; later double unlock");
+    push("radbench.bug5", RadBench, Assertion, crate::radbench::bug5,
+         row(7, 3, None, None, false, false, true),
+         "NSPR monitor reuse bug with many scheduling points; found quickly by the idiom-driven scheduler");
+    push("radbench.bug6", RadBench, Assertion, crate::radbench::bug6,
+         row(3, 3, Some(1), Some(1), false, true, false),
+         "SpiderMonkey atomisation race");
+
+    // id 49-51: SPLASH-2
+    push("splash2.barnes", Splash2, Assertion, crate::splash2::barnes,
+         row(2, 2, Some(1), Some(1), false, true, true),
+         "missing wait-for-termination macro; assertion that all workers finished");
+    push("splash2.fft", Splash2, Assertion, crate::splash2::fft,
+         row(2, 2, Some(1), Some(1), false, true, true),
+         "as barnes, with the FFT phase structure");
+    push("splash2.lu", Splash2, Assertion, crate::splash2::lu,
+         row(2, 2, Some(1), Some(1), false, true, true),
+         "as barnes, with the LU phase structure");
+
+    v
+}
+
+/// Look up a benchmark by its full name (e.g. `"CS.account_bad"`).
+pub fn benchmark_by_name(name: &str) -> Option<BenchmarkSpec> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_52_benchmarks_with_unique_names_and_ids() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 52);
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 52, "duplicate benchmark names");
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(b.id, i);
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_table_1() {
+        let all = all_benchmarks();
+        let count = |s: Suite| all.iter().filter(|b| b.suite == s).count();
+        assert_eq!(count(Suite::Cb), 3);
+        assert_eq!(count(Suite::Chess), 4);
+        assert_eq!(count(Suite::Cs), 29);
+        assert_eq!(count(Suite::Inspect), 1);
+        assert_eq!(count(Suite::Misc), 2);
+        assert_eq!(count(Suite::Parsec), 4);
+        assert_eq!(count(Suite::RadBench), 6);
+        assert_eq!(count(Suite::Splash2), 3);
+    }
+
+    #[test]
+    fn every_benchmark_builds_and_validates() {
+        for spec in all_benchmarks() {
+            let program = spec.program();
+            assert!(
+                program.validate().is_ok(),
+                "benchmark {} fails validation",
+                spec.name
+            );
+            assert!(
+                !program.templates.is_empty(),
+                "benchmark {} has no templates",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_finds_known_benchmarks() {
+        assert!(benchmark_by_name("CS.account_bad").is_some());
+        assert!(benchmark_by_name("chess.WSQ").is_some());
+        assert!(benchmark_by_name("does.not_exist").is_none());
+    }
+
+    #[test]
+    fn suite_metadata_is_present() {
+        for s in Suite::all() {
+            assert!(!s.name().is_empty());
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Suite::Cb.skipped().0, 17);
+        assert_eq!(Suite::Chess.skipped().0, 0);
+    }
+}

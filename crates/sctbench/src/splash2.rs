@@ -1,0 +1,119 @@
+//! The SPLASH-2 suite: `barnes`, `fft` and `lu`, each configured (as in prior
+//! work) with a macro set that *omits* the "wait for threads to terminate"
+//! macro. The study added assertions checking that all threads have in fact
+//! terminated; the assertion fails when the main thread reaches the end of
+//! the program while a worker still has post-barrier work outstanding.
+//!
+//! Port fidelity: the numeric kernels are irrelevant to the bug and are
+//! replaced by small lock-protected phase loops; the phase/barrier structure
+//! (and hence the position of the missing join) follows each kernel:
+//! `barnes` has two tree phases, `fft` three transpose phases and `lu` two
+//! factorisation phases with a different amount of per-phase work. Input
+//! sizes are reduced exactly as the study reduced them (§4.1, §6).
+
+use sct_ir::prelude::*;
+use sct_ir::Program;
+
+fn splash_kernel(name: &str, phases: u32, work_per_phase: i64) -> Program {
+    let mut p = ProgramBuilder::new(name);
+    let work_done = p.global("work_done", 0);
+    let finished_threads = p.global("finished_threads", 0);
+    let m = p.mutex("global_lock");
+    let phase_barrier = p.barrier("phase_barrier", 2);
+
+    let worker = p.thread("worker", move |b| {
+        for _ in 0..phases {
+            b.for_range("i", 0, work_per_phase, |b, _i| {
+                let r = b.local("r");
+                b.lock(m);
+                b.load(work_done, r);
+                b.store(work_done, add(r, 1));
+                b.unlock(m);
+            });
+            b.barrier_wait(phase_barrier);
+        }
+        // Post-barrier epilogue: the worker records its termination. Without
+        // the WAIT_FOR_END macro nothing orders this with the main thread's
+        // final check.
+        let f = b.local("f");
+        b.load(finished_threads, f);
+        b.store(finished_threads, add(f, 1));
+    });
+
+    p.main(move |b| {
+        b.spawn(worker);
+        for _ in 0..phases {
+            b.for_range("i", 0, work_per_phase, |b, _i| {
+                let r = b.local("r");
+                b.lock(m);
+                b.load(work_done, r);
+                b.store(work_done, add(r, 1));
+                b.unlock(m);
+            });
+            b.barrier_wait(phase_barrier);
+        }
+        // Missing WAIT_FOR_END: the study's added assertion.
+        let f = b.local("f");
+        b.load(finished_threads, f);
+        b.assert_cond(eq(f, 1), "all worker threads have terminated");
+    });
+    p.build().expect("splash kernel builds")
+}
+
+/// `splash2.barnes` — Barnes-Hut n-body simulation (reduced particle count).
+/// One tree-building phase with the largest per-phase work of the three.
+pub fn barnes() -> Program {
+    splash_kernel("splash2.barnes", 1, 4)
+}
+
+/// `splash2.fft` — the FFT kernel (reduced matrix size); three transpose
+/// phases.
+pub fn fft() -> Program {
+    splash_kernel("splash2.fft", 3, 2)
+}
+
+/// `splash2.lu` — the LU factorisation kernel (reduced matrix size); a single
+/// factorisation phase with a small block count.
+pub fn lu() -> Program {
+    splash_kernel("splash2.lu", 1, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::prelude::*;
+    use sct_runtime::ExecConfig;
+
+    #[test]
+    fn splash_kernels_need_exactly_one_delay_and_two_schedules() {
+        for (name, prog) in [("barnes", barnes()), ("fft", fft()), ("lu", lu())] {
+            let stats = iterative_bounding(
+                &prog,
+                &ExecConfig::all_visible(),
+                BoundKind::Delay,
+                &ExploreLimits::with_schedule_limit(10_000),
+            );
+            assert!(stats.found_bug(), "{name}: bug not found");
+            assert_eq!(stats.bound_of_first_bug, Some(1), "{name}");
+            assert_eq!(
+                stats.schedules_to_first_bug,
+                Some(2),
+                "{name}: the paper reports the bug on the second schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn splash_kernels_are_clean_at_bound_zero() {
+        for prog in [barnes(), fft(), lu()] {
+            let zero = explore::bounded_dfs(
+                &prog,
+                &ExecConfig::all_visible(),
+                BoundKind::Delay,
+                0,
+                &ExploreLimits::with_schedule_limit(10),
+            );
+            assert!(!zero.found_bug(), "{}", prog.name);
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! # sct-threads
+//!
+//! A loom-style frontend for the SCT schedulers: test code is written as
+//! ordinary Rust closures against mock synchronisation types (`Mutex`,
+//! `AtomicI64`, `JoinHandle`), runs on real OS threads, and every visible
+//! operation is gated by the same [`sct_core::Scheduler`] implementations
+//! that drive the IR interpreter. This demonstrates that the exploration
+//! layer (DFS, preemption/delay bounding, random, PCT) is agnostic to how the
+//! program under test is expressed.
+//!
+//! The frontend is intended for writing executable examples and tests against
+//! real Rust code; the mass experiments of the study use the much faster IR
+//! interpreter in `sct-runtime` (the same trade-off the paper discusses for
+//! Maple's restart-the-binary approach versus CHESS's in-process reset).
+//!
+//! ```
+//! use sct_threads::{explore, Model};
+//! use sct_core::RandomScheduler;
+//! use std::sync::Arc;
+//!
+//! let report = explore(
+//!     |model| {
+//!         let counter = Arc::new(sct_threads::SharedCell::new(&model, 0));
+//!         let c1 = counter.clone();
+//!         let m1 = model.clone();
+//!         let h = model.spawn(move || {
+//!             // racy read-modify-write
+//!             let v = c1.load(&m1);
+//!             c1.store(&m1, v + 1);
+//!         });
+//!         let v = counter.load(&model);
+//!         counter.store(&model, v + 1);
+//!         h.join(&model);
+//!         let total = counter.load(&model);
+//!         model.check(total == 2, "both increments survived");
+//!     },
+//!     Box::new(RandomScheduler::new(200, 42)),
+//! );
+//! assert!(report.bug_found, "the lost update must be discovered");
+//! ```
+
+use parking_lot::{Condvar, Mutex as PlMutex};
+use sct_core::Scheduler;
+use sct_ir::{Loc, TemplateId};
+use sct_runtime::{Bug, ExecutionOutcome, PendingOp, SchedulingPoint, StepRecord, ThreadId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The visible operations of the closure frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// First scheduling point of a thread (right after it is spawned).
+    Start,
+    /// Acquire the mock mutex with the given id.
+    Acquire(usize),
+    /// Release the mock mutex with the given id.
+    Release(usize),
+    /// Access (load or store) the shared cell with the given id.
+    Access(usize),
+    /// Wait for the thread with the given index to finish.
+    Join(usize),
+    /// Explicit yield.
+    Yield,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing invisible code (or not yet at its first scheduling point).
+    Running,
+    /// Parked at a visible operation, waiting to be granted.
+    AtOp(OpKind),
+    /// The closure returned or panicked.
+    Finished,
+}
+
+#[derive(Debug, Default)]
+struct ControlState {
+    statuses: Vec<Status>,
+    granted: Option<usize>,
+    mutex_owners: Vec<Option<usize>>,
+    next_cell: usize,
+    failure: Option<String>,
+    last: Option<usize>,
+    steps: Vec<StepRecord>,
+    deadlock: bool,
+}
+
+struct Inner {
+    state: PlMutex<ControlState>,
+    cond: Condvar,
+}
+
+/// Handle to the controlled execution, cloned into every test thread. All
+/// mock types take a `&Model` so the scheduling handshake can be performed.
+#[derive(Clone)]
+pub struct Model {
+    inner: Arc<Inner>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            inner: Arc::new(Inner {
+                state: PlMutex::new(ControlState::default()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.inner.state.lock();
+        st.statuses.push(Status::Running);
+        st.statuses.len() - 1
+    }
+
+    fn register_mutex(&self) -> usize {
+        let mut st = self.inner.state.lock();
+        st.mutex_owners.push(None);
+        st.mutex_owners.len() - 1
+    }
+
+    fn register_cell(&self) -> usize {
+        let mut st = self.inner.state.lock();
+        let id = st.next_cell;
+        st.next_cell += 1;
+        id
+    }
+
+    /// Park the calling test thread at a visible operation and wait until the
+    /// scheduler grants it.
+    fn request(&self, me: usize, op: OpKind) {
+        let mut st = self.inner.state.lock();
+        if st.failure.is_some() || st.deadlock {
+            // The execution is already over; unwind quietly (or return
+            // silently when already unwinding, e.g. from a guard drop).
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            std::panic::panic_any(StopExecution);
+        }
+        st.statuses[me] = Status::AtOp(op);
+        self.inner.cond.notify_all();
+        while st.granted != Some(me) {
+            if st.failure.is_some() || st.deadlock {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                std::panic::panic_any(StopExecution);
+            }
+            self.inner.cond.wait(&mut st);
+        }
+        st.granted = None;
+        // Apply the operation's effect on the model state.
+        match op {
+            OpKind::Acquire(m) => st.mutex_owners[m] = Some(me),
+            OpKind::Release(m) => st.mutex_owners[m] = None,
+            _ => {}
+        }
+        st.statuses[me] = Status::Running;
+        self.inner.cond.notify_all();
+    }
+
+    fn finish(&self, me: usize, failure: Option<String>) {
+        let mut st = self.inner.state.lock();
+        st.statuses[me] = Status::Finished;
+        if st.failure.is_none() {
+            st.failure = failure;
+        }
+        self.inner.cond.notify_all();
+    }
+
+    /// Spawn a controlled test thread running `f`.
+    pub fn spawn<F>(&self, f: F) -> JoinHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let id = self.register_thread();
+        let model = self.clone();
+        let os = std::thread::spawn(move || {
+            CURRENT.with(|c| c.set(id));
+            // The new thread's first action is a scheduling point, so the
+            // spawning thread keeps running until the scheduler says
+            // otherwise (mirroring the runtime's spawn semantics).
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                model.request(id, OpKind::Start);
+                f();
+            }));
+            let failure = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.downcast_ref::<StopExecution>().is_some() {
+                        None
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        Some((*s).to_string())
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        Some(s.clone())
+                    } else {
+                        Some("test thread panicked".to_string())
+                    }
+                }
+            };
+            model.finish(id, failure);
+        });
+        JoinHandle { id, os: Some(os) }
+    }
+
+    /// Record an assertion; a failed check ends the execution with a bug.
+    pub fn check(&self, condition: bool, message: &str) {
+        if !condition {
+            panic!("assertion failed: {message}");
+        }
+    }
+
+    /// Explicit scheduling point.
+    pub fn yield_now(&self) {
+        self.request(current_thread_id(), OpKind::Yield);
+    }
+}
+
+/// Marker payload used to unwind test threads when the execution is over.
+struct StopExecution;
+
+thread_local! {
+    static CURRENT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn current_thread_id() -> usize {
+    CURRENT.with(|c| c.get())
+}
+
+/// Join handle for a controlled thread.
+pub struct JoinHandle {
+    id: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JoinHandle {
+    /// Wait (under scheduler control) for the thread to finish.
+    pub fn join(mut self, model: &Model) {
+        let me = current_thread_id();
+        model.request(me, OpKind::Join(self.id));
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+    }
+}
+
+impl Drop for JoinHandle {
+    fn drop(&mut self) {
+        // Never join while unwinding: the owning thread may be tearing down
+        // before the coordinator has been told the execution is over, and the
+        // joined thread could still be waiting for a grant.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+    }
+}
+
+/// A mock mutex protecting a value.
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex registered with the model.
+    pub fn new(model: &Model, value: T) -> Self {
+        Mutex {
+            id: model.register_mutex(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex (a scheduling point; blocks the logical thread while
+    /// another thread owns it).
+    pub fn lock<'a>(&'a self, model: &'a Model) -> MutexGuard<'a, T> {
+        let me = current_thread_id();
+        model.request(me, OpKind::Acquire(self.id));
+        MutexGuard {
+            model,
+            id: self.id,
+            me,
+            guard: Some(self.data.lock().expect("mock mutex poisoned")),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing is itself a scheduling point.
+pub struct MutexGuard<'a, T> {
+    model: &'a Model,
+    id: usize,
+    me: usize,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().unwrap()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().unwrap()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        self.model.request(self.me, OpKind::Release(self.id));
+    }
+}
+
+/// A shared integer cell whose every access is a scheduling point (the
+/// equivalent of a racy shared variable in the IR frontend).
+pub struct SharedCell {
+    id: usize,
+    value: AtomicI64,
+}
+
+impl SharedCell {
+    /// Create a cell registered with the model.
+    pub fn new(model: &Model, value: i64) -> Self {
+        SharedCell {
+            id: model.register_cell(),
+            value: AtomicI64::new(value),
+        }
+    }
+
+    /// Read the cell (scheduling point).
+    pub fn load(&self, model: &Model) -> i64 {
+        model.request(current_thread_id(), OpKind::Access(self.id));
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Write the cell (scheduling point).
+    pub fn store(&self, model: &Model, v: i64) {
+        model.request(current_thread_id(), OpKind::Access(self.id));
+        self.value.store(v, Ordering::SeqCst);
+    }
+
+    /// Atomic fetch-add (scheduling point).
+    pub fn fetch_add(&self, model: &Model, v: i64) -> i64 {
+        model.request(current_thread_id(), OpKind::Access(self.id));
+        self.value.fetch_add(v, Ordering::SeqCst)
+    }
+}
+
+/// Result of exploring a closure-based model.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadsReport {
+    /// Number of executions performed.
+    pub executions: u64,
+    /// Whether any execution exposed a bug (failed check, panic or deadlock).
+    pub bug_found: bool,
+    /// The first failure message observed.
+    pub first_failure: Option<String>,
+    /// Number of executions that deadlocked.
+    pub deadlocks: u64,
+    /// Executions until the first bug.
+    pub executions_to_first_bug: Option<u64>,
+}
+
+fn op_enabled(state: &ControlState, op: OpKind) -> bool {
+    match op {
+        OpKind::Acquire(m) => state.mutex_owners[m].is_none(),
+        OpKind::Join(t) => state.statuses.get(t).copied() == Some(Status::Finished),
+        _ => true,
+    }
+}
+
+fn loc_for(op: OpKind) -> Loc {
+    let pc = match op {
+        OpKind::Start => 0,
+        OpKind::Acquire(m) => 100 + m as u32,
+        OpKind::Release(m) => 200 + m as u32,
+        OpKind::Access(c) => 300 + c as u32,
+        OpKind::Join(t) => 400 + t as u32,
+        OpKind::Yield => 500,
+    };
+    Loc {
+        template: TemplateId(0),
+        pc,
+    }
+}
+
+/// Run one controlled execution of the closure under the given per-step
+/// chooser. Returns the outcome in the same shape the IR runtime produces so
+/// the `sct-core` schedulers can drive both frontends.
+fn run_once<F>(body: &F, choose: &mut dyn FnMut(&SchedulingPoint) -> ThreadId) -> ExecutionOutcome
+where
+    F: Fn(Model) + Send + Sync + 'static + Clone,
+{
+    let model = Model::new();
+    let root_id = model.register_thread();
+    debug_assert_eq!(root_id, 0);
+    let root_model = model.clone();
+    let body = body.clone();
+    let root = std::thread::spawn(move || {
+        CURRENT.with(|c| c.set(0));
+        let result = catch_unwind(AssertUnwindSafe(|| body(root_model.clone())));
+        let failure = match result {
+            Ok(()) => None,
+            Err(payload) => {
+                if payload.downcast_ref::<StopExecution>().is_some() {
+                    None
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    Some((*s).to_string())
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    Some(s.clone())
+                } else {
+                    Some("root test thread panicked".to_string())
+                }
+            }
+        };
+        root_model.finish(0, failure);
+    });
+
+    // Coordinator loop.
+    let mut step_index = 0usize;
+    loop {
+        let mut st = model.inner.state.lock();
+        // Wait until no thread is running invisible code.
+        while st.granted.is_some() || st.statuses.iter().any(|s| *s == Status::Running) {
+            model.inner.cond.wait(&mut st);
+        }
+        if st.failure.is_some() {
+            break;
+        }
+        let parked: Vec<(usize, OpKind)> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Status::AtOp(op) => Some((i, *op)),
+                _ => None,
+            })
+            .collect();
+        if parked.is_empty() {
+            // Everything finished.
+            break;
+        }
+        let enabled: Vec<ThreadId> = parked
+            .iter()
+            .filter(|(_, op)| op_enabled(&st, *op))
+            .map(|(i, _)| ThreadId(*i))
+            .collect();
+        if enabled.is_empty() {
+            st.deadlock = true;
+            model.inner.cond.notify_all();
+            break;
+        }
+        let last = st.last.map(ThreadId);
+        let last_enabled = last.map(|l| enabled.contains(&l)).unwrap_or(false);
+        let point = SchedulingPoint {
+            enabled: enabled.clone(),
+            last,
+            last_enabled,
+            num_threads: st.statuses.len(),
+            step_index,
+            pending: parked
+                .iter()
+                .filter(|(i, _)| enabled.contains(&ThreadId(*i)))
+                .map(|(i, op)| PendingOp {
+                    thread: ThreadId(*i),
+                    loc: loc_for(*op),
+                    addr: match op {
+                        OpKind::Access(c) => Some(*c),
+                        _ => None,
+                    },
+                    is_write: false,
+                })
+                .collect(),
+        };
+        let mut choice = choose(&point);
+        if !enabled.contains(&choice) {
+            choice = enabled[0];
+        }
+        let num_threads = st.statuses.len();
+        st.steps.push(StepRecord {
+            thread: choice,
+            enabled: enabled.clone(),
+            last_enabled,
+            last,
+            num_threads,
+        });
+        st.last = Some(choice.index());
+        st.granted = Some(choice.index());
+        step_index += 1;
+        model.inner.cond.notify_all();
+        drop(st);
+    }
+
+    // Tear down: wake everything so blocked threads unwind, then join the root.
+    {
+        let st = model.inner.state.lock();
+        model.inner.cond.notify_all();
+        drop(st);
+    }
+    let _ = root.join();
+
+    let st = model.inner.state.lock();
+    let bug = if let Some(msg) = &st.failure {
+        Some(Bug::ExplicitFailure {
+            thread: ThreadId(0),
+            loc: Loc {
+                template: TemplateId(0),
+                pc: 0,
+            },
+            msg: msg.clone(),
+        })
+    } else if st.deadlock {
+        Some(Bug::Deadlock {
+            blocked: st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, Status::Finished))
+                .map(|(i, _)| ThreadId(i))
+                .collect(),
+        })
+    } else {
+        None
+    };
+    let threads_created = st.statuses.len();
+    let max_enabled = st.steps.iter().map(|s| s.enabled.len()).max().unwrap_or(0);
+    let scheduling_points = st.steps.iter().filter(|s| s.enabled.len() > 1).count();
+    ExecutionOutcome {
+        bug,
+        steps: st.steps.clone(),
+        threads_created,
+        max_enabled,
+        scheduling_points,
+        diverged: false,
+        fingerprint: 0,
+    }
+}
+
+/// Explore the closure-based model `body` under `scheduler` until the
+/// scheduler stops. The root closure receives the [`Model`] handle; worker
+/// closures capture clones of it.
+pub fn explore<F>(body: F, mut scheduler: Box<dyn Scheduler>) -> ThreadsReport
+where
+    F: Fn(Model) + Send + Sync + 'static + Clone,
+{
+    let mut report = ThreadsReport::default();
+    while scheduler.begin_execution() {
+        let outcome = run_once(&body, &mut |p| scheduler.choose(p));
+        scheduler.end_execution(&outcome);
+        report.executions += 1;
+        if matches!(outcome.bug, Some(Bug::Deadlock { .. })) {
+            report.deadlocks += 1;
+        }
+        if outcome.is_buggy() && !report.bug_found {
+            report.bug_found = true;
+            report.executions_to_first_bug = Some(report.executions);
+            report.first_failure = outcome.bug.as_ref().map(|b| b.to_string());
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::RandomScheduler;
+    use std::sync::Arc;
+
+    #[test]
+    fn lost_update_on_a_shared_cell_is_found() {
+        let report = explore(
+            |model| {
+                let counter = Arc::new(SharedCell::new(&model, 0));
+                let c1 = counter.clone();
+                let m1 = model.clone();
+                let h = model.spawn(move || {
+                    let v = c1.load(&m1);
+                    c1.store(&m1, v + 1);
+                });
+                let v = counter.load(&model);
+                counter.store(&model, v + 1);
+                h.join(&model);
+                let total = counter.load(&model);
+                model.check(total == 2, "both increments survived");
+            },
+            Box::new(RandomScheduler::new(300, 11)),
+        );
+        assert!(report.bug_found, "lost update not found: {report:?}");
+        assert!(report.executions_to_first_bug.unwrap() >= 1);
+    }
+
+    #[test]
+    fn mutex_protected_counter_is_correct_under_exploration() {
+        let report = explore(
+            |model| {
+                let counter = Arc::new(Mutex::new(&model, 0i64));
+                let c1 = counter.clone();
+                let m1 = model.clone();
+                let h = model.spawn(move || {
+                    let mut g = c1.lock(&m1);
+                    *g += 1;
+                });
+                {
+                    let mut g = counter.lock(&model);
+                    *g += 1;
+                }
+                h.join(&model);
+                let g = counter.lock(&model);
+                model.check(*g == 2, "mutex-protected increments never get lost");
+            },
+            Box::new(RandomScheduler::new(100, 3)),
+        );
+        assert!(!report.bug_found, "unexpected bug: {report:?}");
+        assert_eq!(report.executions, 100);
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks() {
+        let report = explore(
+            |model| {
+                let a = Arc::new(Mutex::new(&model, ()));
+                let b = Arc::new(Mutex::new(&model, ()));
+                let (a1, b1, m1) = (a.clone(), b.clone(), model.clone());
+                let h = model.spawn(move || {
+                    let _ga = a1.lock(&m1);
+                    let _gb = b1.lock(&m1);
+                });
+                {
+                    let _gb = b.lock(&model);
+                    let _ga = a.lock(&model);
+                }
+                h.join(&model);
+            },
+            Box::new(RandomScheduler::new(300, 9)),
+        );
+        assert!(report.bug_found, "deadlock not found: {report:?}");
+        assert!(report.deadlocks >= 1);
+    }
+}

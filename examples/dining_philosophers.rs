@@ -1,0 +1,61 @@
+//! Deadlock hunting: the dining-philosophers benchmarks from the CS suite.
+//! Shows how the techniques compare on a classic deadlock as the number of
+//! philosophers grows, and prints the schedule that triggers it.
+//!
+//! ```text
+//! cargo run --example dining_philosophers
+//! ```
+
+use sct::bench::benchmark_by_name;
+use sct::prelude::*;
+
+fn main() {
+    for name in [
+        "CS.din_phil2_sat",
+        "CS.din_phil3_sat",
+        "CS.din_phil4_sat",
+        "CS.din_phil5_sat",
+    ] {
+        let spec = benchmark_by_name(name).expect("benchmark exists");
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        let limits = ExploreLimits::with_schedule_limit(2_000);
+
+        let idb = iterative_bounding(&program, &config, BoundKind::Delay, &limits);
+        let rand = explore::run_technique(
+            &program,
+            &config,
+            Technique::Random { seed: 7 },
+            &limits,
+        );
+
+        println!("{name}:");
+        println!(
+            "  IDB : bug at delay bound {:?} after {:?} schedules ({})",
+            idb.bound_of_first_bug,
+            idb.schedules_to_first_bug,
+            idb.first_bug
+                .as_ref()
+                .map(|b| b.kind())
+                .unwrap_or("no bug")
+        );
+        println!(
+            "  Rand: bug after {:?} of {} random schedules ({:.0}% of schedules were buggy)",
+            rand.schedules_to_first_bug,
+            rand.schedules,
+            rand.buggy_fraction() * 100.0
+        );
+    }
+
+    // Reproduce one deadlocking schedule and print it step by step.
+    let program = benchmark_by_name("CS.din_phil3_sat").unwrap().program();
+    let outcome = sct::runtime::run_once(
+        &program,
+        &ExecConfig::all_visible(),
+        |point| point.round_robin_choice(),
+    );
+    println!("\nround-robin schedule of CS.din_phil3_sat ({} steps):", outcome.steps.len());
+    let schedule: Vec<String> = outcome.schedule().iter().map(|t| t.to_string()).collect();
+    println!("  {}", schedule.join(" "));
+    println!("  outcome: {}", outcome.bug.map(|b| b.to_string()).unwrap_or_else(|| "no bug".into()));
+}

@@ -1,0 +1,67 @@
+//! The CHESS work-stealing queue: the benchmark family that motivated
+//! preemption bounding. Compares how quickly each technique finds the
+//! owner/thief double-take race, and demonstrates the race-detection phase
+//! that the study runs before systematic exploration.
+//!
+//! ```text
+//! cargo run --release --example work_stealing
+//! ```
+
+use sct::bench::chess;
+use sct::prelude::*;
+use sct::race::{race_detection_phase, RacePhaseConfig};
+
+fn main() {
+    let program = chess::wsq();
+    println!("benchmark: {}", program.name);
+
+    // Phase 1: dynamic race detection (10 uncontrolled runs), as in §5 of the
+    // paper. Racy locations are promoted to visible operations.
+    let report = race_detection_phase(&program, &RacePhaseConfig::default());
+    println!(
+        "race-detection phase: {} distinct races over {} locations",
+        report.races.len(),
+        report.racy_locations().len()
+    );
+    let config = ExecConfig::with_racy_locations(report.racy_locations());
+
+    // Phase 2: the techniques.
+    let limits = ExploreLimits::with_schedule_limit(10_000);
+    for technique in [
+        Technique::IterativePreemptionBounding,
+        Technique::IterativeDelayBounding,
+        Technique::Dfs,
+        Technique::Random { seed: 1 },
+        Technique::Pct { depth: 3, seed: 1 },
+    ] {
+        let stats = explore::run_technique(&program, &config, technique, &limits);
+        println!(
+            "{:<9} schedules-to-bug {:>6} total {:>6} buggy {:>5} bound {:?}",
+            stats.technique,
+            stats
+                .schedules_to_first_bug
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+            stats.schedules,
+            stats.buggy_schedules,
+            stats.bound_of_first_bug,
+        );
+    }
+
+    // The lock-free variants are harder; show the schedule counts growing.
+    for program in [chess::iwsq(), chess::iwsqws(), chess::swsq()] {
+        let stats = iterative_bounding(
+            &program,
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(10_000),
+        );
+        println!(
+            "{:<14} IDB: bound {:?}, {} schedules, found: {}",
+            program.name,
+            stats.bound_of_first_bug.or(stats.final_bound),
+            stats.schedules,
+            stats.found_bug()
+        );
+    }
+}
