@@ -17,6 +17,7 @@ fn bench_fig2(c: &mut Criterion) {
         seed: 2,
         use_race_phase: true,
         include_pct: false,
+        workers: 2,
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {

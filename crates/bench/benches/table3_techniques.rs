@@ -16,21 +16,17 @@ fn bench_table3(c: &mut Criterion) {
     for name in REPRESENTATIVE {
         let program = spec(name).program();
         for (label, technique) in study_techniques() {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &technique,
-                |b, technique| {
-                    b.iter(|| {
-                        let stats = explore::run_technique(
-                            &program,
-                            &bench_config(),
-                            *technique,
-                            &bench_limits(),
-                        );
-                        black_box((stats.schedules, stats.found_bug()))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &technique, |b, technique| {
+                b.iter(|| {
+                    let stats = explore::run_technique(
+                        &program,
+                        &bench_config(),
+                        *technique,
+                        &bench_limits(),
+                    );
+                    black_box((stats.schedules, stats.found_bug()))
+                })
+            });
         }
     }
     group.finish();

@@ -100,7 +100,12 @@ mod tests {
     use sct_ir::{Loc, TemplateId};
     use sct_runtime::PendingOp;
 
-    fn point(enabled: &[usize], last: Option<usize>, last_enabled: bool, n: usize) -> SchedulingPoint {
+    fn point(
+        enabled: &[usize],
+        last: Option<usize>,
+        last_enabled: bool,
+        n: usize,
+    ) -> SchedulingPoint {
         SchedulingPoint {
             enabled: enabled.iter().map(|&i| ThreadId(i)).collect(),
             last: last.map(ThreadId),

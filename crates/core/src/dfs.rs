@@ -190,8 +190,9 @@ mod tests {
         let config = ExecConfig::all_visible();
         let mut total = 0;
         let mut buggy = 0;
+        let mut exec = Execution::new_shared(program, &config);
         while total < limit && sched.begin_execution() {
-            let mut exec = Execution::new(program, config.clone());
+            exec.reset();
             let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
             sched.end_execution(&outcome);
             total += 1;
@@ -324,9 +325,10 @@ mod tests {
     fn pruned_flag_reflects_whether_the_bound_actually_bit() {
         let prog = figure1();
         let config = ExecConfig::all_visible();
+        let mut exec = Execution::new_shared(&prog, &config);
         let mut tight = BoundedDfs::new(Box::new(DelayBound), 0);
         while tight.begin_execution() {
-            let mut exec = Execution::new(&prog, config.clone());
+            exec.reset();
             let outcome = exec.run(&mut |p| tight.choose(p), &mut NoopObserver);
             tight.end_execution(&outcome);
         }
@@ -334,7 +336,7 @@ mod tests {
 
         let mut loose = BoundedDfs::unbounded();
         while loose.begin_execution() {
-            let mut exec = Execution::new(&prog, config.clone());
+            exec.reset();
             let outcome = exec.run(&mut |p| loose.choose(p), &mut NoopObserver);
             loose.end_execution(&outcome);
         }
@@ -347,8 +349,9 @@ mod tests {
         let config = ExecConfig::all_visible();
         let mut sched = BoundedDfs::unbounded();
         let mut seen = std::collections::HashSet::new();
+        let mut exec = Execution::new_shared(&prog, &config);
         while sched.begin_execution() {
-            let mut exec = Execution::new(&prog, config.clone());
+            exec.reset();
             let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
             sched.end_execution(&outcome);
             let key: Vec<usize> = outcome.schedule().iter().map(|t| t.index()).collect();

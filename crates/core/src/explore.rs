@@ -106,8 +106,11 @@ pub fn explore_with(
     limits: &ExploreLimits,
 ) -> ExplorationStats {
     let mut stats = ExplorationStats::new(scheduler.name());
+    // One execution for the whole exploration: `reset` rewinds it in place,
+    // so the hot loop performs no per-schedule allocation or config clone.
+    let mut exec = Execution::new_shared(program, config);
     while stats.schedules < limits.schedule_limit && scheduler.begin_execution() {
-        let mut exec = Execution::new(program, config.clone());
+        exec.reset();
         let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
         scheduler.end_execution(&outcome);
         stats.record(&outcome);
@@ -156,11 +159,12 @@ pub fn iterative_bounding(
         BoundKind::None => "DFS",
     };
     let mut agg = ExplorationStats::new(label);
+    let mut exec = Execution::new_shared(program, config);
     for bound in 0..=limits.max_bound {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound);
         let mut new_at_bound = 0u64;
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
-            let mut exec = Execution::new(program, config.clone());
+            exec.reset();
             let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
             scheduler.end_execution(&outcome);
             let cost = match kind {

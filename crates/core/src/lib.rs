@@ -54,6 +54,7 @@ pub mod bounds;
 pub mod dfs;
 pub mod explore;
 pub mod maple;
+pub mod parallel;
 pub mod pct;
 pub mod random;
 pub mod scheduler;
@@ -63,6 +64,10 @@ pub use bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
 pub use dfs::BoundedDfs;
 pub use explore::{explore_with, iterative_bounding, ExploreLimits, Technique};
 pub use maple::MapleLikeScheduler;
+pub use parallel::{
+    default_workers, explore_sharded, explore_sharded_serial, map_indexed,
+    parallel_iterative_bounding, run_technique_parallel,
+};
 pub use pct::PctScheduler;
 pub use random::RandomScheduler;
 pub use scheduler::Scheduler;
@@ -74,6 +79,10 @@ pub mod prelude {
     pub use crate::dfs::BoundedDfs;
     pub use crate::explore::{self, explore_with, iterative_bounding, ExploreLimits, Technique};
     pub use crate::maple::MapleLikeScheduler;
+    pub use crate::parallel::{
+        self, default_workers, explore_sharded, explore_sharded_serial, map_indexed,
+        parallel_iterative_bounding, run_technique_parallel,
+    };
     pub use crate::pct::PctScheduler;
     pub use crate::random::RandomScheduler;
     pub use crate::scheduler::Scheduler;

@@ -1,0 +1,614 @@
+//! Work-sharded parallel exploration.
+//!
+//! The study's workload — up to 10,000 terminal schedules per technique per
+//! benchmark — is embarrassingly parallel, but naively splitting it across
+//! threads would make results depend on which worker finishes first. This
+//! module keeps every aggregate **deterministic**:
+//!
+//! * **Randomised techniques** (Rand, PCT, MapleLike) shard their schedule
+//!   budget over N workers with seeds *derived* from the base seed
+//!   ([`derive_seed`]); the per-shard statistics are folded in shard order
+//!   with [`ExplorationStats::merge`], so the parallel aggregate equals the
+//!   serial run of the same shard plan ([`explore_sharded_serial`]) no matter
+//!   how the workers are scheduled. With one worker the plan degenerates to
+//!   the classic serial exploration (`derive_seed(seed, 0) == seed`).
+//! * **Iterative bounding** (IPB/IDB) runs bound levels as parallel tasks.
+//!   Each task records a per-schedule digest of the schedules *new* at its
+//!   bound; the main thread folds the digests in bound order, re-applying the
+//!   serial driver's budget-truncation and stopping rules exactly, so the
+//!   result is schedule-for-schedule identical to
+//!   [`explore::iterative_bounding`]. Bounds beyond the serial stopping point
+//!   are cancelled through a stop flag (their speculative work is discarded).
+//! * **DFS** is a single backtracking search over one schedule tree and runs
+//!   serially; study-level parallelism for DFS comes from fanning out
+//!   benchmarks × techniques in the harness instead.
+
+use crate::bounds::BoundKind;
+use crate::dfs::BoundedDfs;
+use crate::explore::{self, ExploreLimits, Technique};
+use crate::scheduler::Scheduler;
+use crate::stats::ExplorationStats;
+use sct_ir::Program;
+use sct_runtime::{Bug, ExecConfig, Execution, ExecutionOutcome, NoopObserver};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+/// Number of workers to use when the caller does not specify one.
+pub fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Deterministically derive the RNG seed of shard `index` from `base`.
+///
+/// Shard 0 keeps the base seed, so a one-worker shard plan reproduces the
+/// classic serial exploration bit for bit; later shards get SplitMix64-mixed
+/// seeds, which keeps their streams statistically independent of each other
+/// for any base seed (including adjacent ones).
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    if index == 0 {
+        return base;
+    }
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Split `schedule_limit` into per-shard budgets for `workers` workers:
+/// as even as possible, earlier shards take the remainder, zero-budget
+/// shards are dropped. The budgets always sum to `schedule_limit`.
+pub fn shard_budgets(schedule_limit: u64, workers: usize) -> Vec<u64> {
+    let shards = (workers.max(1) as u64).min(schedule_limit.max(1));
+    let base = schedule_limit / shards;
+    let rem = schedule_limit % shards;
+    (0..shards)
+        .map(|i| base + u64::from(i < rem))
+        .filter(|&b| b > 0)
+        .collect()
+}
+
+/// Evaluate `f(0..n)` on up to `workers` threads and return the results in
+/// index order. Work is claimed dynamically (an atomic index dispenser), so
+/// uneven item costs balance across the pool, while the output stays
+/// deterministic: slot `i` always holds `f(i)`.
+pub fn map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool left a slot unfilled")
+        })
+        .collect()
+}
+
+/// The technique shard `index` runs: same algorithm, derived seed.
+fn shard_technique(technique: Technique, index: u64) -> Technique {
+    match technique {
+        Technique::Random { seed } => Technique::Random {
+            seed: derive_seed(seed, index),
+        },
+        Technique::Pct { depth, seed } => Technique::Pct {
+            depth,
+            seed: derive_seed(seed, index),
+        },
+        Technique::MapleLike {
+            profiling_runs,
+            seed,
+        } => Technique::MapleLike {
+            profiling_runs,
+            seed: derive_seed(seed, index),
+        },
+        systematic => systematic,
+    }
+}
+
+fn fold_shards(mut shards: Vec<ExplorationStats>) -> ExplorationStats {
+    let mut agg = shards.remove(0);
+    for shard in &shards {
+        agg.merge(shard);
+    }
+    agg
+}
+
+/// Explore a randomised technique with its schedule budget sharded over
+/// `workers` parallel workers. The aggregate is deterministic for a fixed
+/// `(seed, workers, schedule_limit)` triple — identical to
+/// [`explore_sharded_serial`] with the same arguments — because shards fold
+/// in plan order, not completion order. Note that `schedules_to_first_bug`
+/// is the *minimum shard-local* index, the natural analogue of "schedules
+/// until some worker reports the bug".
+///
+/// Systematic techniques are delegated: DFS to the serial driver, IPB/IDB to
+/// [`parallel_iterative_bounding`].
+pub fn explore_sharded(
+    program: &Program,
+    config: &ExecConfig,
+    technique: Technique,
+    limits: &ExploreLimits,
+    workers: usize,
+) -> ExplorationStats {
+    match technique {
+        Technique::Dfs
+        | Technique::IterativePreemptionBounding
+        | Technique::IterativeDelayBounding => {
+            return run_technique_parallel(program, config, technique, limits, workers)
+        }
+        _ => {}
+    }
+    let budgets = shard_budgets(limits.schedule_limit, workers);
+    if budgets.len() <= 1 {
+        return explore::run_technique(program, config, technique, limits);
+    }
+    let shard_stats: Vec<ExplorationStats> = thread::scope(|scope| {
+        let handles: Vec<_> = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &budget)| {
+                let technique = shard_technique(technique, i as u64);
+                let shard_limits = ExploreLimits {
+                    schedule_limit: budget,
+                    max_bound: limits.max_bound,
+                };
+                scope.spawn(move || {
+                    explore::run_technique(program, config, technique, &shard_limits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    fold_shards(shard_stats)
+}
+
+/// The serial reference for [`explore_sharded`]: the same shard plan run on
+/// one thread, folded in the same order. Used by the determinism tests and
+/// benchmarks; produces identical aggregates to the parallel version.
+pub fn explore_sharded_serial(
+    program: &Program,
+    config: &ExecConfig,
+    technique: Technique,
+    limits: &ExploreLimits,
+    workers: usize,
+) -> ExplorationStats {
+    match technique {
+        Technique::Dfs
+        | Technique::IterativePreemptionBounding
+        | Technique::IterativeDelayBounding => {
+            return explore::run_technique(program, config, technique, limits)
+        }
+        _ => {}
+    }
+    let budgets = shard_budgets(limits.schedule_limit, workers);
+    if budgets.len() <= 1 {
+        return explore::run_technique(program, config, technique, limits);
+    }
+    let shard_stats: Vec<ExplorationStats> = budgets
+        .iter()
+        .enumerate()
+        .map(|(i, &budget)| {
+            let technique = shard_technique(technique, i as u64);
+            let shard_limits = ExploreLimits {
+                schedule_limit: budget,
+                max_bound: limits.max_bound,
+            };
+            explore::run_technique(program, config, technique, &shard_limits)
+        })
+        .collect();
+    fold_shards(shard_stats)
+}
+
+/// What [`ExplorationStats::record`] needs from one terminal schedule; the
+/// bound-level tasks ship these back so the fold can replay the serial
+/// driver's accounting exactly.
+struct ScheduleDigest {
+    buggy: bool,
+    diverged: bool,
+    threads_created: usize,
+    max_enabled: usize,
+    scheduling_points: usize,
+    /// Set only for buggy schedules (the fold clones it for the first bug).
+    bug: Option<Bug>,
+}
+
+impl ScheduleDigest {
+    fn of(outcome: &ExecutionOutcome) -> Self {
+        let buggy = outcome.is_buggy();
+        ScheduleDigest {
+            buggy,
+            diverged: outcome.diverged,
+            threads_created: outcome.threads_created,
+            max_enabled: outcome.max_enabled,
+            scheduling_points: outcome.scheduling_points,
+            bug: if buggy { outcome.bug.clone() } else { None },
+        }
+    }
+}
+
+/// Feed a digest through the same accounting as the serial driver
+/// ([`ExplorationStats::record_parts`] backs both, so they cannot drift).
+fn record_digest(agg: &mut ExplorationStats, d: &ScheduleDigest) {
+    agg.record_parts(
+        d.buggy,
+        d.diverged,
+        d.threads_created,
+        d.max_enabled,
+        d.scheduling_points,
+        d.bug.as_ref(),
+    );
+}
+
+/// One bound level explored to completion (or its budget cap / the stop
+/// flag), with the digests of the schedules that are *new* at this bound.
+struct BoundRun {
+    bound: u32,
+    digests: Vec<ScheduleDigest>,
+    /// Whether the bounded DFS exhausted the bound (never true when aborted).
+    complete: bool,
+    pruned: bool,
+}
+
+fn run_bound(
+    program: &Program,
+    config: &ExecConfig,
+    kind: BoundKind,
+    bound: u32,
+    cap: u64,
+    stop: &AtomicBool,
+) -> BoundRun {
+    let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+    let mut exec = Execution::new_shared(program, config);
+    let mut digests: Vec<ScheduleDigest> = Vec::new();
+    let mut aborted = false;
+    while (digests.len() as u64) < cap && scheduler.begin_execution() {
+        if stop.load(Ordering::Relaxed) {
+            // A lower bound already satisfied the serial stopping rule; this
+            // speculative level will be discarded, so bail out cheaply.
+            aborted = true;
+            break;
+        }
+        exec.reset();
+        let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
+        scheduler.end_execution(&outcome);
+        let cost = match kind {
+            BoundKind::Preemption => outcome.preemption_count(),
+            BoundKind::Delay => outcome.delay_count(),
+            BoundKind::None => 0,
+        };
+        if cost == bound || bound == 0 {
+            digests.push(ScheduleDigest::of(&outcome));
+        }
+    }
+    BoundRun {
+        bound,
+        digests,
+        complete: scheduler.is_complete() && !aborted,
+        pruned: scheduler.was_pruned(),
+    }
+}
+
+/// Fold one bound level into the aggregate, replaying the serial driver's
+/// budget truncation and stopping rules. Returns `true` when exploration is
+/// finished (bug found / budget exhausted / space covered).
+fn fold_bound(agg: &mut ExplorationStats, run: &BoundRun, limits: &ExploreLimits) -> bool {
+    let mut new_at_bound = 0u64;
+    let mut truncated = false;
+    for d in &run.digests {
+        // The serial driver checks the budget before every execution; the
+        // check's outcome only changes when a *counted* schedule lands, so
+        // checking before each digest reproduces its truncation point.
+        if agg.schedules >= limits.schedule_limit {
+            truncated = true;
+            break;
+        }
+        record_digest(agg, d);
+        new_at_bound += 1;
+    }
+    // The serial `BoundedDfs` only learns it exhausted the bound from the
+    // `begin_execution` call *after* the last execution; once the budget is
+    // spent that call never happens, so the bound does not count as finished
+    // even when the digest list happens to be exactly exhausted.
+    let finished_bound = !truncated && agg.schedules < limits.schedule_limit && run.complete;
+
+    agg.final_bound = Some(run.bound);
+    agg.new_schedules_at_final_bound = new_at_bound;
+    if agg.found_bug() && agg.bound_of_first_bug.is_none() {
+        agg.bound_of_first_bug = Some(run.bound);
+    }
+    if agg.schedules >= limits.schedule_limit && !finished_bound {
+        agg.hit_schedule_limit = true;
+        return true;
+    }
+    if agg.found_bug() {
+        // The paper completes the bound at which the bug was found, then
+        // stops (same rule as the serial driver).
+        return true;
+    }
+    if finished_bound && !run.pruned {
+        agg.complete = true;
+        return true;
+    }
+    if agg.schedules >= limits.schedule_limit {
+        agg.hit_schedule_limit = true;
+        return true;
+    }
+    false
+}
+
+/// Iterative schedule bounding with bound levels `0..=max_bound` explored as
+/// parallel tasks, in waves of `workers` levels. Produces statistics
+/// identical to the serial [`explore::iterative_bounding`] — including
+/// `new_schedules_at_final_bound`, `bound_of_first_bug` and the budget /
+/// completeness flags — because the per-level digests are folded in bound
+/// order under the exact serial accounting rules. Levels beyond the serial
+/// stopping point are speculative; once the fold stops, the remaining levels
+/// of the wave are cancelled and discarded.
+pub fn parallel_iterative_bounding(
+    program: &Program,
+    config: &ExecConfig,
+    kind: BoundKind,
+    limits: &ExploreLimits,
+    workers: usize,
+) -> ExplorationStats {
+    let label = match kind {
+        BoundKind::Preemption => "IPB",
+        BoundKind::Delay => "IDB",
+        BoundKind::None => "DFS",
+    };
+    let workers = workers.max(1);
+    // With no bound there are no levels to parallelise: every "level" would
+    // re-run the same full unbounded DFS, so delegate to the serial driver
+    // (same as the one-worker case).
+    if workers == 1 || kind == BoundKind::None {
+        return explore::iterative_bounding(program, config, kind, limits);
+    }
+    let mut agg = ExplorationStats::new(label);
+    let stop = AtomicBool::new(false);
+    let mut bound = 0u32;
+    let mut done = false;
+    while !done && bound <= limits.max_bound {
+        let wave_last = bound
+            .saturating_add(workers as u32 - 1)
+            .min(limits.max_bound);
+        thread::scope(|scope| {
+            let stop = &stop;
+            let handles: Vec<_> = (bound..=wave_last)
+                .map(|b| {
+                    scope.spawn(move || {
+                        run_bound(program, config, kind, b, limits.schedule_limit, stop)
+                    })
+                })
+                .collect();
+            // Join in bound order and fold incrementally, so the stop flag
+            // cancels higher levels as soon as the serial rule fires.
+            for handle in handles {
+                let run = handle.join().expect("bound-level worker panicked");
+                if done {
+                    continue; // drain cancelled levels
+                }
+                done = fold_bound(&mut agg, &run, limits);
+                if done {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        if wave_last == limits.max_bound {
+            break;
+        }
+        bound = wave_last + 1;
+    }
+    agg
+}
+
+/// Run one of the study's techniques with intra-technique parallelism over
+/// `workers` threads, preserving deterministic statistics (see the module
+/// docs for the exact guarantees per technique family).
+pub fn run_technique_parallel(
+    program: &Program,
+    config: &ExecConfig,
+    technique: Technique,
+    limits: &ExploreLimits,
+    workers: usize,
+) -> ExplorationStats {
+    match technique {
+        Technique::Dfs => explore::run_technique(program, config, technique, limits),
+        Technique::IterativePreemptionBounding => {
+            parallel_iterative_bounding(program, config, BoundKind::Preemption, limits, workers)
+        }
+        Technique::IterativeDelayBounding => {
+            parallel_iterative_bounding(program, config, BoundKind::Delay, limits, workers)
+        }
+        Technique::Random { .. } | Technique::Pct { .. } | Technique::MapleLike { .. } => {
+            explore_sharded(program, config, technique, limits, workers)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::prelude::*;
+
+    fn figure1() -> Program {
+        let mut p = ProgramBuilder::new("figure1");
+        let x = p.global("x", 0);
+        let y = p.global("y", 0);
+        let z = p.global("z", 0);
+        let t1 = p.thread("t1", |b| {
+            b.store(x, 1);
+            b.store(y, 1);
+        });
+        let t2 = p.thread("t2", |b| {
+            b.store(z, 1);
+        });
+        let t3 = p.thread("t3", |b| {
+            let rx = b.local("rx");
+            let ry = b.local("ry");
+            b.load(x, rx);
+            b.load(y, ry);
+            b.assert_cond(eq(rx, ry), "x == y");
+        });
+        p.main(|b| {
+            b.spawn(t1);
+            b.spawn(t2);
+            b.spawn(t3);
+        });
+        p.build().unwrap()
+    }
+
+    fn config() -> ExecConfig {
+        ExecConfig::all_visible()
+    }
+
+    #[test]
+    fn derived_seeds_keep_shard_zero_and_spread_the_rest() {
+        assert_eq!(derive_seed(1234, 0), 1234);
+        let s1 = derive_seed(1234, 1);
+        let s2 = derive_seed(1234, 2);
+        assert_ne!(s1, 1234);
+        assert_ne!(s1, s2);
+        // Adjacent base seeds must not collide shard streams.
+        assert_ne!(derive_seed(1234, 1), derive_seed(1235, 1));
+    }
+
+    #[test]
+    fn shard_budgets_partition_the_limit() {
+        assert_eq!(shard_budgets(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_budgets(3, 8), vec![1, 1, 1]);
+        assert_eq!(shard_budgets(8, 1), vec![8]);
+        assert!(shard_budgets(0, 4).is_empty());
+        for (limit, workers) in [(10_000u64, 7usize), (52, 4), (1, 16)] {
+            let budgets = shard_budgets(limit, workers);
+            assert_eq!(budgets.iter().sum::<u64>(), limit);
+        }
+    }
+
+    #[test]
+    fn sharded_random_is_deterministic_and_parallel_equals_serial() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(400);
+        let technique = Technique::Random { seed: 42 };
+        let serial = explore_sharded_serial(&prog, &config(), technique, &limits, 4);
+        let parallel = explore_sharded(&prog, &config(), technique, &limits, 4);
+        let parallel_again = explore_sharded(&prog, &config(), technique, &limits, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel, parallel_again);
+        assert_eq!(parallel.schedules, 400);
+        assert!(parallel.found_bug(), "figure1's bug is easy for Rand");
+    }
+
+    #[test]
+    fn sharded_pct_parallel_equals_serial() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(300);
+        let technique = Technique::Pct { depth: 2, seed: 5 };
+        let serial = explore_sharded_serial(&prog, &config(), technique, &limits, 3);
+        let parallel = explore_sharded(&prog, &config(), technique, &limits, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.schedules, 300);
+    }
+
+    #[test]
+    fn one_worker_shard_plan_is_the_classic_serial_run() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(200);
+        let technique = Technique::Random { seed: 9 };
+        let classic = explore::run_technique(&prog, &config(), technique, &limits);
+        let sharded = explore_sharded(&prog, &config(), technique, &limits, 1);
+        assert_eq!(classic, sharded);
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_matches_serial_exactly() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(10_000);
+        for kind in [BoundKind::Delay, BoundKind::Preemption] {
+            let serial = explore::iterative_bounding(&prog, &config(), kind, &limits);
+            for workers in [2, 4, 8] {
+                let parallel =
+                    parallel_iterative_bounding(&prog, &config(), kind, &limits, workers);
+                assert_eq!(serial, parallel, "{kind:?} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_respects_the_schedule_limit() {
+        // A limit small enough to truncate mid-bound: the parallel fold must
+        // reproduce the serial truncation (hit flag, partial counts and all).
+        let prog = figure1();
+        for limit in [1u64, 2, 3, 5, 8, 13] {
+            let limits = ExploreLimits::with_schedule_limit(limit);
+            let serial = explore::iterative_bounding(&prog, &config(), BoundKind::Delay, &limits);
+            let parallel =
+                parallel_iterative_bounding(&prog, &config(), BoundKind::Delay, &limits, 4);
+            assert_eq!(serial, parallel, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_reports_completion_on_tiny_programs() {
+        let mut p = ProgramBuilder::new("single");
+        let x = p.global("x", 0);
+        p.main(|b| {
+            b.store(x, 1);
+        });
+        let prog = p.build().unwrap();
+        let limits = ExploreLimits::default();
+        let serial = explore::iterative_bounding(&prog, &config(), BoundKind::Delay, &limits);
+        let parallel = parallel_iterative_bounding(&prog, &config(), BoundKind::Delay, &limits, 4);
+        assert_eq!(serial, parallel);
+        assert!(parallel.complete);
+        assert_eq!(parallel.schedules, 1);
+    }
+
+    #[test]
+    fn run_technique_parallel_covers_every_technique() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(500);
+        for technique in [
+            Technique::Dfs,
+            Technique::IterativePreemptionBounding,
+            Technique::IterativeDelayBounding,
+            Technique::Random { seed: 3 },
+            Technique::Pct { depth: 2, seed: 3 },
+            Technique::MapleLike {
+                profiling_runs: 4,
+                seed: 3,
+            },
+        ] {
+            let stats = run_technique_parallel(&prog, &config(), technique, &limits, 4);
+            assert!(stats.schedules >= 1, "{technique:?} explored nothing");
+        }
+    }
+}

@@ -101,11 +101,7 @@ impl Scheduler for PctScheduler {
         // Apply a priority change if this step is a change point: the
         // currently highest-priority enabled thread is demoted.
         if let Some(&low) = self.change_points.get(&point.step_index) {
-            if let Some(&top) = point
-                .enabled
-                .iter()
-                .max_by_key(|&&t| self.priority_of(t))
-            {
+            if let Some(&top) = point.enabled.iter().max_by_key(|&&t| self.priority_of(t)) {
                 self.priorities.insert(top, low);
             }
         }

@@ -1,0 +1,326 @@
+//! A minimal, dependency-free stand-in for the parts of the `criterion`
+//! bench-harness API this workspace uses. The build environment has no
+//! crates.io access, so the workspace vendors this shim under the crate name
+//! `criterion`; the bench targets in `crates/bench/benches/` compile
+//! unchanged.
+//!
+//! Semantics: each benchmark is warmed up for (a capped portion of) the
+//! configured warm-up time, then timed for `sample_size` samples or until the
+//! measurement time is exhausted, whichever comes first. Results are printed
+//! to stdout and appended as JSON lines to
+//! `target/criterion-shim/<group>.jsonl` (override the directory with the
+//! `CRITERION_SHIM_OUT` environment variable), giving the perf-trajectory
+//! tooling a machine-readable point per benchmark. Set `CRITERION_SHIM_FAST=1`
+//! to run exactly one iteration per benchmark (smoke mode for CI).
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] runs and times it.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if fast_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        // Warm-up (capped so accidental multi-second configs stay usable).
+        let warm_deadline = Instant::now() + self.warm_up_time.min(Duration::from_millis(500));
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("CRITERION_SHIM_FAST").is_some_and(|v| v != "0")
+}
+
+fn out_dir() -> PathBuf {
+    std::env::var_os("CRITERION_SHIM_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/criterion-shim"))
+}
+
+/// A named collection of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up time.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the number of samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.criterion.report(&self.name, id, &samples);
+    }
+
+    /// End the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    out: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { out: out_dir() }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a standalone function (no group).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+
+    /// Kept for API compatibility with `criterion_main!`'s epilogue.
+    pub fn final_summary(&mut self) {}
+
+    fn report(&mut self, group: &str, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{group}/{id}: no samples collected");
+            return;
+        }
+        let nanos: Vec<u128> = samples.iter().map(|d| d.as_nanos()).collect();
+        let total: u128 = nanos.iter().sum();
+        let mean = total / nanos.len() as u128;
+        let min = *nanos.iter().min().unwrap();
+        let max = *nanos.iter().max().unwrap();
+        println!(
+            "{group}/{id:<40} time: [{} {} {}] ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            nanos.len()
+        );
+        // One JSON point per benchmark for the perf trajectory.
+        if fs::create_dir_all(&self.out).is_ok() {
+            let path = self.out.join(format!("{}.jsonl", sanitize(group)));
+            if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    f,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{}}}",
+                    escape(group),
+                    escape(id),
+                    nanos.len()
+                );
+            }
+        }
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!` (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_as_function_slash_parameter() {
+        assert_eq!(
+            BenchmarkId::new("IPB", "CS.account_bad").to_string(),
+            "IPB/CS.account_bad"
+        );
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn groups_collect_samples_and_write_json() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        std::env::set_var("CRITERION_SHIM_OUT", &dir);
+        std::env::set_var("CRITERION_SHIM_FAST", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(2).measurement_time(Duration::from_millis(10));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        let written = std::fs::read_to_string(dir.join("unit.jsonl")).unwrap();
+        assert!(written.lines().count() >= 2);
+        assert!(written.contains("\"bench\":\"noop\""));
+        std::env::remove_var("CRITERION_SHIM_OUT");
+        std::env::remove_var("CRITERION_SHIM_FAST");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.500µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

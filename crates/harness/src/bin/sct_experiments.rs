@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! sct-experiments [--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR]
-//!                 [--no-race-phase] [--with-pct] [--out DIR]
+//!                 [--no-race-phase] [--with-pct] [--workers N] [--out DIR]
 //! ```
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
@@ -54,18 +54,28 @@ fn parse_args() -> Result<Args, String> {
             "--filter" => filter = Some(value("--filter")?),
             "--no-race-phase" => config.use_race_phase = false,
             "--with-pct" => config.include_pct = true,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1);
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: sct-experiments [--schedules N] [--race-runs N] [--seed N] \
-                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--out DIR]"
+                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--workers N] [--out DIR]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok(Args { config, filter, out })
+    Ok(Args {
+        config,
+        filter,
+        out,
+    })
 }
 
 fn main() {
@@ -78,8 +88,12 @@ fn main() {
     };
 
     eprintln!(
-        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}",
-        args.config.schedule_limit, args.config.race_runs, args.config.seed, args.filter
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers",
+        args.config.schedule_limit,
+        args.config.race_runs,
+        args.config.seed,
+        args.filter,
+        args.config.workers
     );
     let started = std::time::Instant::now();
     let results = run_study(&args.config, args.filter.as_deref());

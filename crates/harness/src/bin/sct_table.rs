@@ -36,7 +36,10 @@ fn main() {
                     .unwrap_or(config.schedule_limit)
             }
             "--seed" => {
-                config.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(config.seed)
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed)
             }
             "--filter" => filter = args.next(),
             other => {

@@ -113,8 +113,7 @@ pub fn venn_to_string(title: &str, names: [&str; 3], v: &VennCounts) -> String {
 /// limit, as in the paper. Returned as CSV.
 pub fn scatter_fig3(results: &StudyResults) -> String {
     let limit = results.schedule_limit;
-    let mut out =
-        String::from("id,benchmark,ipb_first_bug,idb_first_bug,ipb_total,idb_total\n");
+    let mut out = String::from("id,benchmark,ipb_first_bug,idb_first_bug,ipb_total,idb_total\n");
     for b in &results.benchmarks {
         let ipb = b.technique("IPB");
         let idb = b.technique("IDB");
@@ -148,8 +147,7 @@ pub fn scatter_fig3(results: &StudyResults) -> String {
 /// IPB and IDB, plus the same "square" totals as Figure 3. Returned as CSV.
 pub fn scatter_fig4(results: &StudyResults) -> String {
     let limit = results.schedule_limit;
-    let mut out =
-        String::from("id,benchmark,ipb_worst_case,idb_worst_case,ipb_total,idb_total\n");
+    let mut out = String::from("id,benchmark,ipb_worst_case,idb_worst_case,ipb_total,idb_total\n");
     for b in &results.benchmarks {
         let ipb = b.technique("IPB");
         let idb = b.technique("IDB");
@@ -159,7 +157,8 @@ pub fn scatter_fig4(results: &StudyResults) -> String {
             continue;
         }
         let worst = |s: Option<&sct_core::ExplorationStats>| {
-            s.and_then(|s| s.worst_case_schedules_to_bug()).unwrap_or(limit)
+            s.and_then(|s| s.worst_case_schedules_to_bug())
+                .unwrap_or(limit)
         };
         let total = |s: Option<&sct_core::ExplorationStats>| {
             s.map(|s| s.schedules.min(limit)).unwrap_or(limit)
@@ -190,6 +189,7 @@ mod tests {
             seed: 2,
             use_race_phase: true,
             include_pct: false,
+            workers: 2,
         };
         run_study(&config, Some("splash2"))
     }

@@ -1,7 +1,7 @@
 //! The per-benchmark experiment pipeline and the whole-study driver.
 
-use sct_core::{explore, ExploreLimits, Technique};
 use sct_core::stats::ExplorationStats;
+use sct_core::{default_workers, explore, map_indexed, ExploreLimits, Technique};
 use sct_race::{race_detection_phase, RacePhaseConfig};
 use sct_runtime::ExecConfig;
 use sctbench::{all_benchmarks, BenchmarkSpec};
@@ -21,6 +21,11 @@ pub struct HarnessConfig {
     pub use_race_phase: bool,
     /// Include PCT as an additional (non-paper) technique.
     pub include_pct: bool,
+    /// Number of worker threads the study fans benchmarks × techniques out
+    /// over (1 = fully serial). Each (benchmark, technique) cell still runs
+    /// its schedulers with their serial seeds, so the collected statistics
+    /// are identical to a serial run at any worker count.
+    pub workers: usize,
 }
 
 impl Default for HarnessConfig {
@@ -31,6 +36,7 @@ impl Default for HarnessConfig {
             seed: 0x5c7_bec4,
             use_race_phase: true,
             include_pct: false,
+            workers: default_workers(),
         }
     }
 }
@@ -63,12 +69,18 @@ impl BenchmarkResult {
 
     /// Whether the named technique found the benchmark's bug.
     pub fn found_by(&self, label: &str) -> bool {
-        self.technique(label).map(|t| t.found_bug()).unwrap_or(false)
+        self.technique(label)
+            .map(|t| t.found_bug())
+            .unwrap_or(false)
     }
 
     /// Maximum observed value of the "# threads" column across techniques.
     pub fn threads(&self) -> usize {
-        self.techniques.iter().map(|t| t.total_threads).max().unwrap_or(0)
+        self.techniques
+            .iter()
+            .map(|t| t.total_threads)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum observed "# max enabled threads".
@@ -143,14 +155,13 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
         ExecConfig::all_visible()
     };
     let limits = ExploreLimits::with_schedule_limit(config.schedule_limit);
-    let techniques = study_techniques(config)
-        .into_iter()
-        .map(|t| {
-            let mut stats = explore::run_technique(&program, &exec_config, t, &limits);
-            stats.technique = t.label().to_string();
-            stats
-        })
-        .collect();
+    let technique_list = study_techniques(config);
+    let techniques = map_indexed(technique_list.len(), config.workers, |i| {
+        let t = technique_list[i];
+        let mut stats = explore::run_technique(&program, &exec_config, t, &limits);
+        stats.technique = t.label().to_string();
+        stats
+    });
 
     BenchmarkResult {
         id: spec.id,
@@ -163,21 +174,38 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
     }
 }
 
-/// Run the whole study over all 52 benchmarks (or a filtered subset).
+/// Run the whole study over all 52 benchmarks (or a filtered subset),
+/// fanning the work out over `config.workers` threads.
+///
+/// Parallelism is applied at benchmark granularity first (the study has 52
+/// largely independent rows) and at technique granularity within each
+/// benchmark when workers outnumber benchmarks; every cell runs the same
+/// serial exploration either way, so the results — and their order — are
+/// identical to a `workers == 1` run.
 pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
-    let mut results = StudyResults {
-        benchmarks: Vec::new(),
-        schedule_limit: config.schedule_limit,
+    let specs: Vec<BenchmarkSpec> = all_benchmarks()
+        .into_iter()
+        .filter(|spec| match filter {
+            Some(f) => spec.name.to_lowercase().contains(&f.to_lowercase()),
+            None => true,
+        })
+        .collect();
+    let workers = config.workers.max(1);
+    let outer = workers.min(specs.len().max(1));
+    // Leftover parallelism goes to the technique fan-out inside each
+    // benchmark (it matters for filtered single-benchmark runs).
+    let inner = (workers / outer).max(1);
+    let per_benchmark = HarnessConfig {
+        workers: inner,
+        ..config.clone()
     };
-    for spec in all_benchmarks() {
-        if let Some(f) = filter {
-            if !spec.name.to_lowercase().contains(&f.to_lowercase()) {
-                continue;
-            }
-        }
-        results.benchmarks.push(run_benchmark(&spec, config));
+    let benchmarks = map_indexed(specs.len(), outer, |i| {
+        run_benchmark(&specs[i], &per_benchmark)
+    });
+    StudyResults {
+        benchmarks,
+        schedule_limit: config.schedule_limit,
     }
-    results
 }
 
 #[cfg(test)]
@@ -192,6 +220,7 @@ mod tests {
             seed: 7,
             use_race_phase: true,
             include_pct: false,
+            workers: 2,
         }
     }
 
@@ -235,7 +264,35 @@ mod tests {
     fn study_filter_selects_benchmarks_by_substring() {
         let results = run_study(&quick_config(), Some("splash2"));
         assert_eq!(results.benchmarks.len(), 3);
-        assert!(results.benchmarks.iter().all(|b| b.name.starts_with("splash2")));
+        assert!(results
+            .benchmarks
+            .iter()
+            .all(|b| b.name.starts_with("splash2")));
+    }
+
+    #[test]
+    fn parallel_study_statistics_are_identical_to_the_serial_run() {
+        // Every (benchmark, technique) cell runs the same serial exploration
+        // whatever the worker count, so the aggregate study output must be
+        // seed-for-seed identical — systematic techniques (IPB/IDB/DFS)
+        // included.
+        let serial_cfg = HarnessConfig {
+            workers: 1,
+            ..quick_config()
+        };
+        let parallel_cfg = HarnessConfig {
+            workers: 4,
+            ..quick_config()
+        };
+        let serial = run_study(&serial_cfg, Some("splash2"));
+        let parallel = run_study(&parallel_cfg, Some("splash2"));
+        assert_eq!(serial.benchmarks.len(), parallel.benchmarks.len());
+        for (s, p) in serial.benchmarks.iter().zip(&parallel.benchmarks) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.races, p.races);
+            assert_eq!(s.racy_locations, p.racy_locations);
+            assert_eq!(s.techniques, p.techniques, "{}", s.name);
+        }
     }
 
     #[test]

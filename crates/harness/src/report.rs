@@ -43,7 +43,11 @@ pub fn experiments_markdown(results: &StudyResults) -> String {
     let _ = write!(
         out,
         "{}",
-        venn_to_string("Figure 2a (systematic techniques)", ["IPB", "IDB", "DFS"], &a)
+        venn_to_string(
+            "Figure 2a (systematic techniques)",
+            ["IPB", "IDB", "DFS"],
+            &a
+        )
     );
     let _ = writeln!(out, "```");
     let _ = writeln!(
@@ -124,6 +128,7 @@ mod tests {
             seed: 3,
             use_race_phase: true,
             include_pct: false,
+            workers: 2,
         };
         let results = run_study(&config, Some("splash2"));
         let md = experiments_markdown(&results);

@@ -320,12 +320,7 @@ impl BodyBuilder {
     }
 
     /// Atomic exchange, storing the old value into `dst_old`.
-    pub fn exchange(
-        &mut self,
-        var: impl Into<VarRef>,
-        value: impl Into<Expr>,
-        dst_old: LocalId,
-    ) {
+    pub fn exchange(&mut self, var: impl Into<VarRef>, value: impl Into<Expr>, dst_old: LocalId) {
         self.rmw(var, RmwOp::Exchange, value, Some(dst_old));
     }
 
@@ -643,8 +638,20 @@ mod tests {
         assert_eq!(
             mnemonics,
             vec![
-                "lock", "load", "store", "store", "rmw", "cas", "wait", "signal", "broadcast",
-                "unlock", "spawn", "join", "yield", "assert"
+                "lock",
+                "load",
+                "store",
+                "store",
+                "rmw",
+                "cas",
+                "wait",
+                "signal",
+                "broadcast",
+                "unlock",
+                "spawn",
+                "join",
+                "yield",
+                "assert"
             ]
         );
     }

@@ -67,7 +67,10 @@ pub enum Op {
     /// Destroy a mutex.
     MutexDestroy { mutex: MutexRef },
     /// Condition wait (release + block + re-acquire).
-    Wait { condvar: CondvarRef, mutex: MutexRef },
+    Wait {
+        condvar: CondvarRef,
+        mutex: MutexRef,
+    },
     /// Wake one waiter.
     Signal { condvar: CondvarRef },
     /// Wake all waiters.
@@ -135,7 +138,10 @@ impl Op {
 
     /// Whether this operation only touches thread-local state.
     pub fn is_local(&self) -> bool {
-        matches!(self, Op::Assign { .. } | Op::Assert { .. } | Op::Fail { .. })
+        matches!(
+            self,
+            Op::Assign { .. } | Op::Assert { .. } | Op::Fail { .. }
+        )
     }
 
     /// A short mnemonic used by traces and the pretty printer.

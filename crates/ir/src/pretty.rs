@@ -24,11 +24,23 @@ pub fn program_to_string(program: &Program) -> String {
         let _ = writeln!(out, "  sem {} x{} = {}", s.name, s.len, s.init);
     }
     for b in &program.barriers {
-        let _ = writeln!(out, "  barrier {} ({} participants)", b.name, b.participants);
+        let _ = writeln!(
+            out,
+            "  barrier {} ({} participants)",
+            b.name, b.participants
+        );
     }
     for (ti, t) in program.templates.iter().enumerate() {
-        let main_marker = if ti == program.main.index() { " (main)" } else { "" };
-        let _ = writeln!(out, "  thread {}{} [{} locals]", t.name, main_marker, t.locals);
+        let main_marker = if ti == program.main.index() {
+            " (main)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  thread {}{} [{} locals]",
+            t.name, main_marker, t.locals
+        );
         for (pc, instr) in t.body.iter().enumerate() {
             let _ = writeln!(out, "    {pc:>3}: {}", instr_to_string(program, instr));
         }

@@ -175,7 +175,10 @@ impl Program {
 
     /// Offset of the first instance of `id` in the flattened mutex table.
     pub fn mutex_offset(&self, id: MutexId) -> usize {
-        self.mutexes[..id.index()].iter().map(|m| m.len as usize).sum()
+        self.mutexes[..id.index()]
+            .iter()
+            .map(|m| m.len as usize)
+            .sum()
     }
 
     /// Total number of condition-variable instances.
@@ -185,7 +188,10 @@ impl Program {
 
     /// Offset of the first instance of `id` in the flattened condvar table.
     pub fn condvar_offset(&self, id: CondvarId) -> usize {
-        self.condvars[..id.index()].iter().map(|c| c.len as usize).sum()
+        self.condvars[..id.index()]
+            .iter()
+            .map(|c| c.len as usize)
+            .sum()
     }
 
     /// Total number of semaphore instances.
@@ -205,7 +211,10 @@ impl Program {
 
     /// Offset of the first instance of `id` in the flattened barrier table.
     pub fn barrier_offset(&self, id: BarrierId) -> usize {
-        self.barriers[..id.index()].iter().map(|b| b.len as usize).sum()
+        self.barriers[..id.index()]
+            .iter()
+            .map(|b| b.len as usize)
+            .sum()
     }
 
     /// An upper bound on the number of threads the program can create,
@@ -217,7 +226,15 @@ impl Program {
         self.templates
             .iter()
             .flat_map(|t| t.body.iter())
-            .filter(|i| matches!(i, Instr::Op { op: Op::Spawn { .. }, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Op {
+                        op: Op::Spawn { .. },
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -336,7 +353,10 @@ impl Program {
                     self.check_sem(template, pc, sem.base)?
                 }
                 Op::BarrierWait { barrier } => self.check_barrier(template, pc, barrier.base)?,
-                Op::Spawn { template: spawned, dst } => {
+                Op::Spawn {
+                    template: spawned,
+                    dst,
+                } => {
                     if spawned.index() >= self.templates.len() {
                         return Err(IrError::UnknownTemplate(*spawned));
                     }
@@ -372,12 +392,7 @@ impl Program {
         }
     }
 
-    fn check_condvar(
-        &self,
-        template: TemplateId,
-        pc: usize,
-        id: CondvarId,
-    ) -> Result<(), IrError> {
+    fn check_condvar(&self, template: TemplateId, pc: usize, id: CondvarId) -> Result<(), IrError> {
         if id.index() >= self.condvars.len() {
             Err(IrError::UnknownObject {
                 template,
@@ -403,12 +418,7 @@ impl Program {
         }
     }
 
-    fn check_barrier(
-        &self,
-        template: TemplateId,
-        pc: usize,
-        id: BarrierId,
-    ) -> Result<(), IrError> {
+    fn check_barrier(&self, template: TemplateId, pc: usize, id: BarrierId) -> Result<(), IrError> {
         if id.index() >= self.barriers.len() {
             Err(IrError::UnknownObject {
                 template,

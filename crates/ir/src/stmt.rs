@@ -136,7 +136,10 @@ pub enum Stmt {
     MutexDestroy { mutex: MutexRef },
     /// `pthread_cond_wait`: atomically release `mutex` and block on `condvar`,
     /// re-acquiring `mutex` before returning.
-    Wait { condvar: CondvarRef, mutex: MutexRef },
+    Wait {
+        condvar: CondvarRef,
+        mutex: MutexRef,
+    },
     /// Wake one waiter.
     Signal { condvar: CondvarRef },
     /// Wake all waiters.

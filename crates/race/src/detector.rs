@@ -149,7 +149,8 @@ impl ExecObserver for RaceDetector {
         let child_clock = self.thread_clock_mut(child.index());
         child_clock.join(&parent_clock);
         child_clock.increment(child.index());
-        self.thread_clock_mut(parent.index()).increment(parent.index());
+        self.thread_clock_mut(parent.index())
+            .increment(parent.index());
     }
 
     fn on_join(&mut self, joiner: ThreadId, joined: ThreadId) {
@@ -167,10 +168,7 @@ impl ExecObserver for RaceDetector {
         let t = thread.index();
         self.thread_clock_mut(t).increment(t);
         let clock = self.thread_clock(t);
-        self.objects
-            .entry(object)
-            .or_default()
-            .join(&clock);
+        self.objects.entry(object).or_default().join(&clock);
     }
 
     fn on_access(&mut self, thread: ThreadId, loc: Loc, addr: usize, is_write: bool, atomic: bool) {
@@ -271,7 +269,11 @@ mod tests {
         });
         let prog = p.build().unwrap();
         let report = run_with_detector(&prog);
-        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+        assert!(
+            report.is_race_free(),
+            "unexpected races: {:?}",
+            report.races
+        );
     }
 
     #[test]
@@ -291,7 +293,11 @@ mod tests {
         });
         let prog = p.build().unwrap();
         let report = run_with_detector(&prog);
-        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+        assert!(
+            report.is_race_free(),
+            "unexpected races: {:?}",
+            report.races
+        );
     }
 
     #[test]
@@ -307,7 +313,11 @@ mod tests {
         });
         let prog = p.build().unwrap();
         let report = run_with_detector(&prog);
-        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+        assert!(
+            report.is_race_free(),
+            "unexpected races: {:?}",
+            report.races
+        );
     }
 
     #[test]
@@ -365,15 +375,23 @@ mod tests {
         });
         let prog = p.build().unwrap();
         let report = run_with_detector(&prog);
-        assert!(report.is_race_free(), "unexpected races: {:?}", report.races);
+        assert!(
+            report.is_race_free(),
+            "unexpected races: {:?}",
+            report.races
+        );
     }
 
     #[test]
     fn report_merge_accumulates_races_and_counts() {
-        let mut a = RaceReport::default();
-        a.executions = 1;
-        let mut b = RaceReport::default();
-        b.executions = 2;
+        let mut a = RaceReport {
+            executions: 1,
+            ..Default::default()
+        };
+        let mut b = RaceReport {
+            executions: 2,
+            ..Default::default()
+        };
         let loc = Loc {
             template: sct_ir::TemplateId(0),
             pc: 0,

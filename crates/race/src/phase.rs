@@ -38,13 +38,15 @@ impl Default for RacePhaseConfig {
 pub fn race_detection_phase(program: &Program, config: &RacePhaseConfig) -> RaceReport {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut merged = RaceReport::default();
+    let exec_config = ExecConfig {
+        max_steps: config.max_steps,
+        ..ExecConfig::all_visible()
+    };
+    // One execution for all runs; `reset` rewinds it in place per run.
+    let mut exec = Execution::new_shared(program, &exec_config);
     for _ in 0..config.runs {
         let mut detector = RaceDetector::new();
-        let exec_config = ExecConfig {
-            max_steps: config.max_steps,
-            ..ExecConfig::all_visible()
-        };
-        let mut exec = Execution::new(program, exec_config);
+        exec.reset();
         let _ = exec.run(
             &mut |p: &SchedulingPoint| {
                 let idx = rng.gen_range(0..p.enabled.len());

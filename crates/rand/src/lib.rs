@@ -1,0 +1,229 @@
+//! A minimal, dependency-free stand-in for the parts of the `rand` crate API
+//! this workspace uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`seq::SliceRandom`].
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this shim under the crate name `rand` (the study code imports
+//! `rand::rngs::SmallRng` etc. unchanged). The generator is xoshiro256++
+//! seeded through SplitMix64 — the same construction the real `SmallRng`
+//! uses on 64-bit platforms — so sequences are deterministic across
+//! platforms and runs, which is all the exploration layer relies on
+//! (fixed-seed reproducibility, not cryptographic quality).
+
+use std::ops::Range;
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, `start < end` required).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Expand `state` into a full generator seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift (Lemire); width == 0 cannot happen
+                // because the asserted ranges here never span the full domain.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (width as u128);
+                let mut lo = m as u64;
+                if lo < width {
+                    let t = width.wrapping_neg() % width;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (width as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start.wrapping_add((m >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u32, u64, i64);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers (`shuffle`, `choose`).
+pub mod seq {
+    use super::Rng;
+
+    /// The subset of `rand::seq::SliceRandom` the workspace uses.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element (`None` when empty).
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn fixed_seed_reproduces_the_same_sequence() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let xs: Vec<usize> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let ys: Vec<usize> = (0..16).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(10..15usize);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+        assert_ne!(v, orig, "a 20-element shuffle virtually never fixes all");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+}

@@ -41,7 +41,11 @@ pub enum Bug {
         len: u32,
     },
     /// `join` was called on a thread id that does not exist.
-    InvalidJoin { thread: ThreadId, loc: Loc, target: i64 },
+    InvalidJoin {
+        thread: ThreadId,
+        loc: Loc,
+        target: i64,
+    },
     /// `wait` was called on a mutex the thread does not hold.
     WaitWithoutMutex { thread: ThreadId, loc: Loc },
     /// The execution exceeded the configured step budget; with the
@@ -112,11 +116,18 @@ impl fmt::Display for Bug {
                 f,
                 "{thread} accessed index {index} of an array of length {len} at {loc}"
             ),
-            Bug::InvalidJoin { thread, loc, target } => {
+            Bug::InvalidJoin {
+                thread,
+                loc,
+                target,
+            } => {
                 write!(f, "{thread} joined non-existent thread {target} at {loc}")
             }
             Bug::WaitWithoutMutex { thread, loc } => {
-                write!(f, "{thread} waited on a condvar without holding the mutex at {loc}")
+                write!(
+                    f,
+                    "{thread} waited on a condvar without holding the mutex at {loc}"
+                )
             }
             Bug::StepLimitExceeded { limit } => {
                 write!(f, "execution exceeded the step limit of {limit}")

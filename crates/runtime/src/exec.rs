@@ -12,6 +12,7 @@ use crate::thread::{ThreadId, ThreadState, ThreadStatus};
 use sct_ir::{
     BarrierRef, CondvarRef, Expr, Instr, Loc, MutexRef, Op, Program, RmwOp, SemRef, VarRef,
 };
+use std::borrow::Cow;
 
 /// A single controlled execution of a program.
 ///
@@ -19,9 +20,16 @@ use sct_ir::{
 /// [`Execution::run`]; explorers that need finer control can instead drive
 /// the loop themselves with [`Execution::enabled_threads`],
 /// [`Execution::scheduling_point`] and [`Execution::step`].
+///
+/// Explorers that run many schedules of the same program should construct the
+/// execution **once** (with [`Execution::new_shared`], which borrows the
+/// configuration instead of cloning it) and call [`Execution::reset`] between
+/// schedules: the rewind reuses every internal allocation, including the
+/// per-thread state of previously spawned threads, instead of rebuilding a
+/// dozen `Vec`s per schedule.
 pub struct Execution<'p> {
     program: &'p Program,
-    config: ExecConfig,
+    config: Cow<'p, ExecConfig>,
 
     globals: Vec<i64>,
     global_base: Vec<usize>,
@@ -44,6 +52,10 @@ pub struct Execution<'p> {
     barrier_len: Vec<u32>,
 
     threads: Vec<ThreadState>,
+    /// Thread states recycled by [`Execution::reset`]; `Spawn` pops from here
+    /// before allocating, so repeated schedules of the same program reuse the
+    /// per-thread `locals` buffers.
+    thread_pool: Vec<ThreadState>,
 
     last: Option<ThreadId>,
     steps: Vec<StepRecord>,
@@ -55,8 +67,19 @@ pub struct Execution<'p> {
 }
 
 impl<'p> Execution<'p> {
-    /// Set up a fresh execution of `program`.
+    /// Set up a fresh execution of `program`, taking ownership of `config`.
     pub fn new(program: &'p Program, config: ExecConfig) -> Self {
+        Execution::with_config(program, Cow::Owned(config))
+    }
+
+    /// Set up a fresh execution of `program` borrowing `config`, so explorers
+    /// that run many schedules never clone the (potentially large) racy-set
+    /// configuration.
+    pub fn new_shared(program: &'p Program, config: &'p ExecConfig) -> Self {
+        Execution::with_config(program, Cow::Borrowed(config))
+    }
+
+    fn with_config(program: &'p Program, config: Cow<'p, ExecConfig>) -> Self {
         let global_base: Vec<usize> = program
             .globals
             .iter()
@@ -67,7 +90,11 @@ impl<'p> Execution<'p> {
             })
             .collect();
         let global_len: Vec<u32> = program.globals.iter().map(|g| g.len).collect();
-        let globals: Vec<i64> = program.globals.iter().flat_map(|g| g.init.clone()).collect();
+        let globals: Vec<i64> = program
+            .globals
+            .iter()
+            .flat_map(|g| g.init.clone())
+            .collect();
 
         let mutex_base: Vec<usize> = scan_offsets(program.mutexes.iter().map(|m| m.len));
         let mutex_len: Vec<u32> = program.mutexes.iter().map(|m| m.len).collect();
@@ -82,7 +109,7 @@ impl<'p> Execution<'p> {
         let sems: Vec<SemState> = program
             .sems
             .iter()
-            .flat_map(|s| std::iter::repeat(SemState { count: s.init }).take(s.len as usize))
+            .flat_map(|s| std::iter::repeat_n(SemState { count: s.init }, s.len as usize))
             .collect();
 
         let barrier_base: Vec<usize> = scan_offsets(program.barriers.iter().map(|b| b.len));
@@ -91,11 +118,13 @@ impl<'p> Execution<'p> {
             .barriers
             .iter()
             .flat_map(|b| {
-                std::iter::repeat(BarrierState {
-                    participants: b.participants,
-                    ..Default::default()
-                })
-                .take(b.len as usize)
+                std::iter::repeat_n(
+                    BarrierState {
+                        participants: b.participants,
+                        ..Default::default()
+                    },
+                    b.len as usize,
+                )
             })
             .collect();
 
@@ -121,6 +150,7 @@ impl<'p> Execution<'p> {
             barrier_base,
             barrier_len,
             threads,
+            thread_pool: Vec::new(),
             last: None,
             steps: Vec::new(),
             bug: None,
@@ -129,6 +159,61 @@ impl<'p> Execution<'p> {
             scheduling_points: 0,
             started: false,
         }
+    }
+
+    /// Rewind to the initial state of the program without releasing any of
+    /// the buffers built up so far: globals, synchronisation objects, thread
+    /// states (spawned threads are parked in a pool for reuse) and the step
+    /// record are all rewritten in place. After `reset`, running the same
+    /// schedule produces bit-identical [`StepRecord`]s and fingerprints to a
+    /// freshly constructed execution.
+    pub fn reset(&mut self) {
+        self.globals.clear();
+        self.globals.extend(
+            self.program
+                .globals
+                .iter()
+                .flat_map(|g| g.init.iter().copied()),
+        );
+
+        for m in &mut self.mutexes {
+            m.owner = None;
+            m.destroyed = false;
+        }
+        for cv in &mut self.condvars {
+            cv.waiters.clear();
+        }
+        let mut sem = 0usize;
+        for s in &self.program.sems {
+            for _ in 0..s.len {
+                self.sems[sem].count = s.init;
+                sem += 1;
+            }
+        }
+        let mut bar = 0usize;
+        for b in &self.program.barriers {
+            for _ in 0..b.len {
+                let state = &mut self.barriers[bar];
+                state.waiting.clear();
+                state.participants = b.participants;
+                state.generation = 0;
+                bar += 1;
+            }
+        }
+
+        // Park spawned threads (locals buffers included) for reuse and rewind
+        // the initial thread.
+        self.thread_pool.extend(self.threads.drain(1..));
+        let main_template = &self.program.templates[self.program.main.index()];
+        self.threads[0].reinit(self.program.main, main_template.locals, None);
+
+        self.last = None;
+        self.steps.clear();
+        self.bug = None;
+        self.diverged = false;
+        self.max_enabled = 0;
+        self.scheduling_points = 0;
+        self.started = false;
     }
 
     /// The program being executed.
@@ -250,10 +335,7 @@ impl<'p> Execution<'p> {
     /// the current enabled set (callers obtain it from
     /// [`Execution::enabled_threads`]).
     pub fn scheduling_point(&self, enabled: &[ThreadId]) -> SchedulingPoint {
-        let last_enabled = self
-            .last
-            .map(|l| enabled.contains(&l))
-            .unwrap_or(false);
+        let last_enabled = self.last.map(|l| enabled.contains(&l)).unwrap_or(false);
         SchedulingPoint {
             enabled: enabled.to_vec(),
             last: self.last,
@@ -460,28 +542,24 @@ impl<'p> Execution<'p> {
                     msg: msg.clone(),
                 });
             }
-            Op::Load { var, dst, atomic } => {
-                match self.resolve_var(tid, var) {
-                    Ok(addr) => {
-                        let v = self.globals[addr];
-                        self.threads[tid.index()].locals[dst.index()] = v;
-                        observer.on_access(tid, loc, addr, false, *atomic);
-                        self.threads[tid.index()].pc += 1;
-                    }
-                    Err(bug) => self.set_bug(bug),
+            Op::Load { var, dst, atomic } => match self.resolve_var(tid, var) {
+                Ok(addr) => {
+                    let v = self.globals[addr];
+                    self.threads[tid.index()].locals[dst.index()] = v;
+                    observer.on_access(tid, loc, addr, false, *atomic);
+                    self.threads[tid.index()].pc += 1;
                 }
-            }
-            Op::Store { var, value, atomic } => {
-                match self.resolve_var(tid, var) {
-                    Ok(addr) => {
-                        let v = value.eval(&self.threads[tid.index()].locals);
-                        self.globals[addr] = v;
-                        observer.on_access(tid, loc, addr, true, *atomic);
-                        self.threads[tid.index()].pc += 1;
-                    }
-                    Err(bug) => self.set_bug(bug),
+                Err(bug) => self.set_bug(bug),
+            },
+            Op::Store { var, value, atomic } => match self.resolve_var(tid, var) {
+                Ok(addr) => {
+                    let v = value.eval(&self.threads[tid.index()].locals);
+                    self.globals[addr] = v;
+                    observer.on_access(tid, loc, addr, true, *atomic);
+                    self.threads[tid.index()].pc += 1;
                 }
-            }
+                Err(bug) => self.set_bug(bug),
+            },
             // Atomics and synchronisation operations are always visible and
             // never reach the invisible-execution path.
             other => unreachable!("invisible execution of visible op {:?}", other.mnemonic()),
@@ -514,11 +592,11 @@ impl<'p> Execution<'p> {
         };
         let loc = self.loc_of(tid);
         self.last = Some(tid);
-        match instr {
-            Instr::Op { op } => self.execute_visible_op(tid, &op, loc, observer),
-            // `advance` never parks a thread at a control-flow instruction,
-            // but the very first step of the initial thread may start here.
-            _ => {}
+        // `advance` never parks a thread at a control-flow instruction, but
+        // the very first step of the initial thread may start here, so
+        // non-`Op` instructions simply fall through to `advance`.
+        if let Instr::Op { op } = instr {
+            self.execute_visible_op(tid, &op, loc, observer);
         }
         if self.bug.is_none() {
             self.advance(tid, observer);
@@ -728,8 +806,14 @@ impl<'p> Execution<'p> {
             Op::Spawn { template, dst } => {
                 let child = ThreadId(self.threads.len());
                 let locals = self.program.templates[template.index()].locals;
-                self.threads
-                    .push(ThreadState::new(*template, locals, Some(tid)));
+                let state = match self.thread_pool.pop() {
+                    Some(mut pooled) => {
+                        pooled.reinit(*template, locals, Some(tid));
+                        pooled
+                    }
+                    None => ThreadState::new(*template, locals, Some(tid)),
+                };
+                self.threads.push(state);
                 if let Some(dst) = dst {
                     self.threads[tid.index()].locals[dst.index()] = child.index() as i64;
                 }
@@ -908,7 +992,10 @@ mod tests {
     /// Round-robin driver used by the unit tests.
     fn run_round_robin(program: &Program, config: ExecConfig) -> ExecutionOutcome {
         let mut exec = Execution::new(program, config);
-        exec.run(&mut |p: &SchedulingPoint| p.round_robin_choice(), &mut NoopObserver)
+        exec.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        )
     }
 
     fn figure1() -> Program {
@@ -1231,7 +1318,9 @@ mod tests {
         let prog = p.build().unwrap();
         let outcome = run_round_robin(&prog, ExecConfig::sync_only());
         match outcome.bug {
-            Some(Bug::AssertionFailure { thread, ref msg, .. }) => {
+            Some(Bug::AssertionFailure {
+                thread, ref msg, ..
+            }) => {
                 assert_eq!(thread, ThreadId(0));
                 assert_eq!(msg, "three is four");
             }
@@ -1289,6 +1378,130 @@ mod tests {
         let outcome = run_round_robin(&prog, cfg);
         assert!(outcome.diverged);
         assert!(!outcome.is_buggy());
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_execution_exactly() {
+        // Two runs from one reused instance must equal two fresh instances:
+        // same StepRecords, same fingerprints, same outcome classification.
+        let prog = figure1();
+        let config = ExecConfig::all_visible();
+
+        let mut reused = Execution::new_shared(&prog, &config);
+        let a1 = reused.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        );
+        reused.reset();
+        let a2 = reused.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        );
+
+        let fresh1 = run_round_robin(&prog, ExecConfig::all_visible());
+        let fresh2 = run_round_robin(&prog, ExecConfig::all_visible());
+
+        assert_eq!(a1.steps, fresh1.steps);
+        assert_eq!(a2.steps, fresh2.steps);
+        assert_eq!(a1.fingerprint, fresh1.fingerprint);
+        assert_eq!(a2.fingerprint, fresh2.fingerprint);
+        assert_eq!(a1.threads_created, a2.threads_created);
+        assert_eq!(a1.scheduling_points, a2.scheduling_points);
+        assert_eq!(a1.is_buggy(), a2.is_buggy());
+    }
+
+    #[test]
+    fn reset_clears_bugs_sync_state_and_step_records() {
+        // Drive an execution into a deadlock, then reset and check the rewind
+        // restored a clean initial state (including mutex/condvar state).
+        let mut p = ProgramBuilder::new("deadlock");
+        let a = p.mutex("a");
+        let bmx = p.mutex("b");
+        let t1 = p.thread("t1", |b| {
+            b.lock(a);
+            b.lock(bmx);
+            b.unlock(bmx);
+            b.unlock(a);
+        });
+        let t2 = p.thread("t2", |b| {
+            b.lock(bmx);
+            b.lock(a);
+            b.unlock(a);
+            b.unlock(bmx);
+        });
+        p.main(|b| {
+            b.spawn(t1);
+            b.spawn(t2);
+        });
+        let prog = p.build().unwrap();
+        let config = ExecConfig::sync_only();
+        let mut exec = Execution::new_shared(&prog, &config);
+        let mut adversarial = |p: &SchedulingPoint| {
+            if p.is_enabled(ThreadId(1)) && p.is_enabled(ThreadId(2)) {
+                if p.last == Some(ThreadId(1)) {
+                    ThreadId(2)
+                } else {
+                    ThreadId(1)
+                }
+            } else {
+                p.round_robin_choice()
+            }
+        };
+        let deadlocked = exec.run(&mut adversarial, &mut NoopObserver);
+        assert!(matches!(deadlocked.bug, Some(Bug::Deadlock { .. })));
+        assert_eq!(exec.thread_count(), 3);
+
+        exec.reset();
+        assert!(exec.bug().is_none());
+        assert_eq!(exec.thread_count(), 1);
+        // The benign round-robin schedule must now complete cleanly.
+        let clean = exec.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        );
+        assert!(clean.bug.is_none(), "{:?}", clean.bug);
+        let reference = run_round_robin(&prog, ExecConfig::sync_only());
+        assert_eq!(clean.steps, reference.steps);
+        assert_eq!(clean.fingerprint, reference.fingerprint);
+    }
+
+    #[test]
+    fn reset_restores_globals_sems_and_barriers() {
+        let mut p = ProgramBuilder::new("state");
+        let x = p.global("x", 7);
+        let s = p.sem("s", 2);
+        let bar = p.barrier("bar", 2);
+        let w = p.thread("w", |b| {
+            b.sem_wait(s);
+            b.barrier_wait(bar);
+            b.store(x, 99);
+        });
+        p.main(|b| {
+            let h = b.local("h");
+            b.spawn_into(w, h);
+            b.sem_wait(s);
+            b.barrier_wait(bar);
+            b.join(h);
+        });
+        let prog = p.build().unwrap();
+        let config = ExecConfig::all_visible();
+        let mut exec = Execution::new_shared(&prog, &config);
+        let first = exec.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        );
+        assert!(first.bug.is_none(), "{:?}", first.bug);
+        assert_eq!(exec.global_cell(0), 99);
+
+        exec.reset();
+        assert_eq!(exec.global_cell(0), 7, "global rewound to its initialiser");
+        let second = exec.run(
+            &mut |p: &SchedulingPoint| p.round_robin_choice(),
+            &mut NoopObserver,
+        );
+        assert!(second.bug.is_none(), "{:?}", second.bug);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.steps, second.steps);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub fn run_once(
     config: &ExecConfig,
     mut choose: impl FnMut(&SchedulingPoint) -> ThreadId,
 ) -> ExecutionOutcome {
-    let mut exec = Execution::new(program, config.clone());
+    let mut exec = Execution::new_shared(program, config);
     exec.run(&mut choose, &mut NoopObserver)
 }

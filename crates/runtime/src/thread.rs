@@ -73,6 +73,17 @@ impl ThreadState {
             parent,
         }
     }
+
+    /// Rewrite this state in place to that of a freshly spawned thread,
+    /// keeping the `locals` allocation.
+    pub fn reinit(&mut self, template: TemplateId, locals: u32, parent: Option<ThreadId>) {
+        self.template = template;
+        self.pc = 0;
+        self.locals.clear();
+        self.locals.resize(locals as usize, 0);
+        self.status = ThreadStatus::Runnable;
+        self.parent = parent;
+    }
 }
 
 #[cfg(test)]

@@ -178,7 +178,10 @@ mod tests {
     fn aget_lost_update_is_found() {
         let stats = idb(&aget_bug2(), 5_000);
         assert!(stats.found_bug());
-        assert!(matches!(stats.first_bug, Some(Bug::AssertionFailure { .. })));
+        assert!(matches!(
+            stats.first_bug,
+            Some(Bug::AssertionFailure { .. })
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn account_bad() -> Program {
         b.lock(m);
         b.load(balance, r);
         b.unlock(m);
-        b.assert_cond(or(eq(r, 0), or(eq(r, 100), or(eq(r, -40), eq(r, 60)))), "balance is consistent");
+        b.assert_cond(
+            or(eq(r, 0), or(eq(r, 100), or(eq(r, -40), eq(r, 60)))),
+            "balance is consistent",
+        );
     });
     p.main(|b| {
         let h1 = b.local("h1");
@@ -439,7 +442,10 @@ fn reorder(threads_launched: u32) -> Program {
         let rb = b.local("rb");
         b.load(a, ra);
         b.load(bvar, rb);
-        b.assert_cond(not(and(eq(ra, 0), eq(rb, 1))), "no reordered view (a==0 && b==1)");
+        b.assert_cond(
+            not(and(eq(ra, 0), eq(rb, 1))),
+            "no reordered view (a==0 && b==1)",
+        );
     });
     p.main(move |b| {
         for _ in 0..setters {
@@ -716,7 +722,12 @@ mod tests {
     }
 
     fn idb(program: &sct_ir::Program) -> ExplorationStats {
-        iterative_bounding(program, &ExecConfig::all_visible(), BoundKind::Delay, &limits())
+        iterative_bounding(
+            program,
+            &ExecConfig::all_visible(),
+            BoundKind::Delay,
+            &limits(),
+        )
     }
 
     #[test]

@@ -160,7 +160,10 @@ mod tests {
             0,
             &ExploreLimits::with_schedule_limit(10),
         );
-        assert!(!zero.found_bug(), "safestack must not fail on the RR schedule");
+        assert!(
+            !zero.found_bug(),
+            "safestack must not fail on the RR schedule"
+        );
     }
 
     #[test]

@@ -204,105 +204,277 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
     push("CB.pbzip2-0.9.4", Cb, Crash, crate::cb::pbzip2,
          row(4, 4, Some(0), Some(1), true, true, true),
          "compression replaced by queue traffic; bug preserved: main destroys the queue mutex while consumers still use it");
-    push("CB.stringbuffer-jdk1.4", Cb, Crash, crate::cb::stringbuffer_jdk14,
-         row(2, 2, Some(2), Some(2), true, true, true),
-         "StringBuffer.append length check vs concurrent erase; copy loop reads out of bounds");
+    push(
+        "CB.stringbuffer-jdk1.4",
+        Cb,
+        Crash,
+        crate::cb::stringbuffer_jdk14,
+        row(2, 2, Some(2), Some(2), true, true, true),
+        "StringBuffer.append length check vs concurrent erase; copy loop reads out of bounds",
+    );
 
     // id 3-31: CS
-    push("CS.account_bad", Cs, Assertion, crate::cs::account_bad,
-         row(4, 3, Some(0), Some(1), true, true, true),
-         "bank account with unsynchronised balance update");
-    push("CS.arithmetic_prog_bad", Cs, Assertion, crate::cs::arithmetic_prog_bad,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "arithmetic progression computed by two racing threads");
-    push("CS.bluetooth_driver_bad", Cs, Assertion, crate::cs::bluetooth_driver_bad,
-         row(2, 2, Some(1), Some(1), true, true, false),
-         "classic stopping-flag vs dispatch driver model");
-    push("CS.carter01_bad", Cs, Assertion, crate::cs::carter01_bad,
-         row(5, 3, Some(1), Some(1), true, true, true),
-         "lock-protected update with a check outside the lock");
-    push("CS.circular_buffer_bad", Cs, Assertion, crate::cs::circular_buffer_bad,
-         row(3, 2, Some(1), Some(2), true, true, false),
-         "single-producer single-consumer ring buffer without synchronisation");
-    push("CS.deadlock01_bad", Cs, Deadlock, crate::cs::deadlock01_bad,
-         row(3, 2, Some(1), Some(1), true, true, false),
-         "two mutexes acquired in opposite orders");
-    push("CS.din_phil2_sat", Cs, Deadlock, crate::cs::din_phil_sat_2,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "dining philosophers, 2 philosophers, all grab left fork first");
-    push("CS.din_phil3_sat", Cs, Deadlock, crate::cs::din_phil_sat_3,
-         row(4, 3, Some(0), Some(0), true, true, true), "3 philosophers");
-    push("CS.din_phil4_sat", Cs, Deadlock, crate::cs::din_phil_sat_4,
-         row(5, 4, Some(0), Some(0), true, true, true), "4 philosophers");
-    push("CS.din_phil5_sat", Cs, Deadlock, crate::cs::din_phil_sat_5,
-         row(6, 5, Some(0), Some(0), true, true, true), "5 philosophers");
-    push("CS.din_phil6_sat", Cs, Deadlock, crate::cs::din_phil_sat_6,
-         row(7, 6, Some(0), Some(0), true, true, true), "6 philosophers");
-    push("CS.din_phil7_sat", Cs, Deadlock, crate::cs::din_phil_sat_7,
-         row(8, 7, Some(0), Some(0), true, true, true), "7 philosophers");
-    push("CS.fsbench_bad", Cs, Assertion, crate::cs::fsbench_bad,
-         row(28, 27, Some(0), Some(0), true, true, true),
-         "file-system benchmark model: 27 workers race on a block bitmap; every schedule is buggy");
-    push("CS.lazy01_bad", Cs, Assertion, crate::cs::lazy01_bad,
-         row(4, 3, Some(0), Some(0), true, true, true),
-         "three workers add to a lock-protected counter; the check admits only some interleavings");
-    push("CS.phase01_bad", Cs, Assertion, crate::cs::phase01_bad,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "two-phase protocol whose invariant fails on the default schedule");
-    push("CS.queue_bad", Cs, Assertion, crate::cs::queue_bad,
-         row(3, 2, Some(1), Some(2), true, true, true),
-         "bounded queue with racy occupancy counter");
-    push("CS.reorder_10_bad", Cs, Assertion, crate::cs::reorder_10_bad,
-         row(11, 10, None, Some(4), false, false, false),
-         "adversarial delay-bounding example with 10 setter threads");
-    push("CS.reorder_20_bad", Cs, Assertion, crate::cs::reorder_20_bad,
-         row(21, 20, None, Some(3), false, false, false),
-         "adversarial delay-bounding example with 20 setter threads");
-    push("CS.reorder_3_bad", Cs, Assertion, crate::cs::reorder_3_bad,
-         row(4, 3, Some(1), Some(2), true, false, false),
-         "adversarial delay-bounding example with 3 setter threads");
-    push("CS.reorder_4_bad", Cs, Assertion, crate::cs::reorder_4_bad,
-         row(5, 4, Some(1), Some(3), true, false, false), "4 setter threads");
-    push("CS.reorder_5_bad", Cs, Assertion, crate::cs::reorder_5_bad,
-         row(6, 5, Some(1), Some(4), false, false, false), "5 setter threads");
-    push("CS.stack_bad", Cs, Assertion, crate::cs::stack_bad,
-         row(3, 2, Some(1), Some(1), true, true, false),
-         "array stack with a racy top-of-stack counter");
-    push("CS.sync01_bad", Cs, Assertion, crate::cs::sync01_bad,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "semaphore handshake whose assertion fails on every schedule");
-    push("CS.sync02_bad", Cs, Assertion, crate::cs::sync02_bad,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "condvar handshake whose assertion fails on every schedule");
-    push("CS.token_ring_bad", Cs, Assertion, crate::cs::token_ring_bad,
-         row(5, 4, Some(0), Some(2), true, true, true),
-         "four threads pass a token around a ring without waiting for it");
-    push("CS.twostage_100_bad", Cs, Assertion, crate::cs::twostage_100_bad,
-         row(101, 100, None, Some(2), false, false, false),
-         "two-stage locking bug amplified to 100 threads");
+    push(
+        "CS.account_bad",
+        Cs,
+        Assertion,
+        crate::cs::account_bad,
+        row(4, 3, Some(0), Some(1), true, true, true),
+        "bank account with unsynchronised balance update",
+    );
+    push(
+        "CS.arithmetic_prog_bad",
+        Cs,
+        Assertion,
+        crate::cs::arithmetic_prog_bad,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "arithmetic progression computed by two racing threads",
+    );
+    push(
+        "CS.bluetooth_driver_bad",
+        Cs,
+        Assertion,
+        crate::cs::bluetooth_driver_bad,
+        row(2, 2, Some(1), Some(1), true, true, false),
+        "classic stopping-flag vs dispatch driver model",
+    );
+    push(
+        "CS.carter01_bad",
+        Cs,
+        Assertion,
+        crate::cs::carter01_bad,
+        row(5, 3, Some(1), Some(1), true, true, true),
+        "lock-protected update with a check outside the lock",
+    );
+    push(
+        "CS.circular_buffer_bad",
+        Cs,
+        Assertion,
+        crate::cs::circular_buffer_bad,
+        row(3, 2, Some(1), Some(2), true, true, false),
+        "single-producer single-consumer ring buffer without synchronisation",
+    );
+    push(
+        "CS.deadlock01_bad",
+        Cs,
+        Deadlock,
+        crate::cs::deadlock01_bad,
+        row(3, 2, Some(1), Some(1), true, true, false),
+        "two mutexes acquired in opposite orders",
+    );
+    push(
+        "CS.din_phil2_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_2,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "dining philosophers, 2 philosophers, all grab left fork first",
+    );
+    push(
+        "CS.din_phil3_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_3,
+        row(4, 3, Some(0), Some(0), true, true, true),
+        "3 philosophers",
+    );
+    push(
+        "CS.din_phil4_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_4,
+        row(5, 4, Some(0), Some(0), true, true, true),
+        "4 philosophers",
+    );
+    push(
+        "CS.din_phil5_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_5,
+        row(6, 5, Some(0), Some(0), true, true, true),
+        "5 philosophers",
+    );
+    push(
+        "CS.din_phil6_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_6,
+        row(7, 6, Some(0), Some(0), true, true, true),
+        "6 philosophers",
+    );
+    push(
+        "CS.din_phil7_sat",
+        Cs,
+        Deadlock,
+        crate::cs::din_phil_sat_7,
+        row(8, 7, Some(0), Some(0), true, true, true),
+        "7 philosophers",
+    );
+    push(
+        "CS.fsbench_bad",
+        Cs,
+        Assertion,
+        crate::cs::fsbench_bad,
+        row(28, 27, Some(0), Some(0), true, true, true),
+        "file-system benchmark model: 27 workers race on a block bitmap; every schedule is buggy",
+    );
+    push(
+        "CS.lazy01_bad",
+        Cs,
+        Assertion,
+        crate::cs::lazy01_bad,
+        row(4, 3, Some(0), Some(0), true, true, true),
+        "three workers add to a lock-protected counter; the check admits only some interleavings",
+    );
+    push(
+        "CS.phase01_bad",
+        Cs,
+        Assertion,
+        crate::cs::phase01_bad,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "two-phase protocol whose invariant fails on the default schedule",
+    );
+    push(
+        "CS.queue_bad",
+        Cs,
+        Assertion,
+        crate::cs::queue_bad,
+        row(3, 2, Some(1), Some(2), true, true, true),
+        "bounded queue with racy occupancy counter",
+    );
+    push(
+        "CS.reorder_10_bad",
+        Cs,
+        Assertion,
+        crate::cs::reorder_10_bad,
+        row(11, 10, None, Some(4), false, false, false),
+        "adversarial delay-bounding example with 10 setter threads",
+    );
+    push(
+        "CS.reorder_20_bad",
+        Cs,
+        Assertion,
+        crate::cs::reorder_20_bad,
+        row(21, 20, None, Some(3), false, false, false),
+        "adversarial delay-bounding example with 20 setter threads",
+    );
+    push(
+        "CS.reorder_3_bad",
+        Cs,
+        Assertion,
+        crate::cs::reorder_3_bad,
+        row(4, 3, Some(1), Some(2), true, false, false),
+        "adversarial delay-bounding example with 3 setter threads",
+    );
+    push(
+        "CS.reorder_4_bad",
+        Cs,
+        Assertion,
+        crate::cs::reorder_4_bad,
+        row(5, 4, Some(1), Some(3), true, false, false),
+        "4 setter threads",
+    );
+    push(
+        "CS.reorder_5_bad",
+        Cs,
+        Assertion,
+        crate::cs::reorder_5_bad,
+        row(6, 5, Some(1), Some(4), false, false, false),
+        "5 setter threads",
+    );
+    push(
+        "CS.stack_bad",
+        Cs,
+        Assertion,
+        crate::cs::stack_bad,
+        row(3, 2, Some(1), Some(1), true, true, false),
+        "array stack with a racy top-of-stack counter",
+    );
+    push(
+        "CS.sync01_bad",
+        Cs,
+        Assertion,
+        crate::cs::sync01_bad,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "semaphore handshake whose assertion fails on every schedule",
+    );
+    push(
+        "CS.sync02_bad",
+        Cs,
+        Assertion,
+        crate::cs::sync02_bad,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "condvar handshake whose assertion fails on every schedule",
+    );
+    push(
+        "CS.token_ring_bad",
+        Cs,
+        Assertion,
+        crate::cs::token_ring_bad,
+        row(5, 4, Some(0), Some(2), true, true, true),
+        "four threads pass a token around a ring without waiting for it",
+    );
+    push(
+        "CS.twostage_100_bad",
+        Cs,
+        Assertion,
+        crate::cs::twostage_100_bad,
+        row(101, 100, None, Some(2), false, false, false),
+        "two-stage locking bug amplified to 100 threads",
+    );
     push("CS.twostage_bad", Cs, Assertion, crate::cs::twostage_bad,
          row(3, 2, Some(1), Some(1), true, true, true),
          "two-stage locking: the second stage reads a value published in the first stage without ordering");
-    push("CS.wronglock_3_bad", Cs, Assertion, crate::cs::wronglock_3_bad,
-         row(5, 4, Some(1), Some(1), true, true, true),
-         "3 readers take a different lock than the writer");
-    push("CS.wronglock_bad", Cs, Assertion, crate::cs::wronglock_bad,
-         row(9, 8, None, Some(1), false, true, true),
-         "7 readers take a different lock than the writer");
+    push(
+        "CS.wronglock_3_bad",
+        Cs,
+        Assertion,
+        crate::cs::wronglock_3_bad,
+        row(5, 4, Some(1), Some(1), true, true, true),
+        "3 readers take a different lock than the writer",
+    );
+    push(
+        "CS.wronglock_bad",
+        Cs,
+        Assertion,
+        crate::cs::wronglock_bad,
+        row(9, 8, None, Some(1), false, true, true),
+        "7 readers take a different lock than the writer",
+    );
 
     // id 32-35: CHESS
-    push("chess.IWSQ", Chess, Assertion, crate::chess::iwsq,
-         row(3, 3, None, Some(2), false, true, false),
-         "interface work-stealing queue: CAS-based take/steal with an off-by-one race");
-    push("chess.IWSQWS", Chess, Assertion, crate::chess::iwsqws,
-         row(3, 3, None, Some(1), false, true, false),
-         "interface work-stealing queue with extra stealing rounds");
-    push("chess.SWSQ", Chess, Assertion, crate::chess::swsq,
-         row(3, 3, None, Some(1), false, true, false),
-         "simple work-stealing queue variant with a larger workload");
-    push("chess.WSQ", Chess, Assertion, crate::chess::wsq,
-         row(3, 3, Some(2), Some(2), false, true, false),
-         "the classic Cilk THE work-stealing deque bug (lost/duplicated item)");
+    push(
+        "chess.IWSQ",
+        Chess,
+        Assertion,
+        crate::chess::iwsq,
+        row(3, 3, None, Some(2), false, true, false),
+        "interface work-stealing queue: CAS-based take/steal with an off-by-one race",
+    );
+    push(
+        "chess.IWSQWS",
+        Chess,
+        Assertion,
+        crate::chess::iwsqws,
+        row(3, 3, None, Some(1), false, true, false),
+        "interface work-stealing queue with extra stealing rounds",
+    );
+    push(
+        "chess.SWSQ",
+        Chess,
+        Assertion,
+        crate::chess::swsq,
+        row(3, 3, None, Some(1), false, true, false),
+        "simple work-stealing queue variant with a larger workload",
+    );
+    push(
+        "chess.WSQ",
+        Chess,
+        Assertion,
+        crate::chess::wsq,
+        row(3, 3, Some(2), Some(2), false, true, false),
+        "the classic Cilk THE work-stealing deque bug (lost/duplicated item)",
+    );
 
     // id 36: Inspect
     push("inspect.qsort_mt", Inspect, Assertion, crate::inspect::qsort_mt,
@@ -310,57 +482,117 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
          "multi-threaded quicksort: racy completion counter lets the parent read a half-sorted array");
 
     // id 37-38: Misc
-    push("misc.ctrace-test", Misc, Crash, crate::misc::ctrace_test,
-         row(3, 2, Some(1), Some(1), true, true, true),
-         "ctrace debugging library: racy trace-buffer index causes an out-of-bounds write");
+    push(
+        "misc.ctrace-test",
+        Misc,
+        Crash,
+        crate::misc::ctrace_test,
+        row(3, 2, Some(1), Some(1), true, true, true),
+        "ctrace debugging library: racy trace-buffer index causes an out-of-bounds write",
+    );
     push("misc.safestack", Misc, Assertion, crate::misc::safestack,
          row(4, 3, None, None, false, false, false),
          "Vyukov lock-free stack; the ABA-style corruption needs at least 3 threads and ~5 preemptions");
 
     // id 39-42: PARSEC
-    push("parsec.ferret", Parsec, Assertion, crate::parsec::ferret,
-         row(11, 11, None, Some(1), false, false, true),
-         "pipeline model: a stage thread preempted before publishing its count starves the sink");
-    push("parsec.streamcluster", Parsec, Assertion, crate::parsec::streamcluster,
-         row(5, 2, None, Some(1), false, true, true),
-         "custom barrier with a racy generation check lets a worker run ahead a phase");
-    push("parsec.streamcluster2", Parsec, Deadlock, crate::parsec::streamcluster2,
-         row(7, 3, None, Some(1), false, true, false),
-         "condition-variable barrier with a lost wake-up (older PARSEC version)");
-    push("parsec.streamcluster3", Parsec, Crash, crate::parsec::streamcluster3,
-         row(5, 2, Some(0), Some(1), true, true, true),
-         "out-of-bounds access discovered by the study's memory-safety checker");
+    push(
+        "parsec.ferret",
+        Parsec,
+        Assertion,
+        crate::parsec::ferret,
+        row(11, 11, None, Some(1), false, false, true),
+        "pipeline model: a stage thread preempted before publishing its count starves the sink",
+    );
+    push(
+        "parsec.streamcluster",
+        Parsec,
+        Assertion,
+        crate::parsec::streamcluster,
+        row(5, 2, None, Some(1), false, true, true),
+        "custom barrier with a racy generation check lets a worker run ahead a phase",
+    );
+    push(
+        "parsec.streamcluster2",
+        Parsec,
+        Deadlock,
+        crate::parsec::streamcluster2,
+        row(7, 3, None, Some(1), false, true, false),
+        "condition-variable barrier with a lost wake-up (older PARSEC version)",
+    );
+    push(
+        "parsec.streamcluster3",
+        Parsec,
+        Crash,
+        crate::parsec::streamcluster3,
+        row(5, 2, Some(0), Some(1), true, true, true),
+        "out-of-bounds access discovered by the study's memory-safety checker",
+    );
 
     // id 43-48: RADBench
     push("radbench.bug1", RadBench, Crash, crate::radbench::bug1,
          row(4, 3, None, None, false, false, false),
          "SpiderMonkey: hash table destroyed while another thread still uses it; very long executions");
-    push("radbench.bug2", RadBench, Assertion, crate::radbench::bug2,
-         row(2, 2, Some(3), Some(3), false, true, false),
-         "SpiderMonkey state-machine bug requiring three preemptions");
-    push("radbench.bug3", RadBench, Assertion, crate::radbench::bug3,
-         row(3, 2, Some(0), Some(0), true, true, true),
-         "NSPR initialisation bug exposed on the default schedule");
-    push("radbench.bug4", RadBench, Crash, crate::radbench::bug4,
-         row(3, 3, None, None, false, true, true),
-         "NSPR lazily initialised lock created twice; later double unlock");
+    push(
+        "radbench.bug2",
+        RadBench,
+        Assertion,
+        crate::radbench::bug2,
+        row(2, 2, Some(3), Some(3), false, true, false),
+        "SpiderMonkey state-machine bug requiring three preemptions",
+    );
+    push(
+        "radbench.bug3",
+        RadBench,
+        Assertion,
+        crate::radbench::bug3,
+        row(3, 2, Some(0), Some(0), true, true, true),
+        "NSPR initialisation bug exposed on the default schedule",
+    );
+    push(
+        "radbench.bug4",
+        RadBench,
+        Crash,
+        crate::radbench::bug4,
+        row(3, 3, None, None, false, true, true),
+        "NSPR lazily initialised lock created twice; later double unlock",
+    );
     push("radbench.bug5", RadBench, Assertion, crate::radbench::bug5,
          row(7, 3, None, None, false, false, true),
          "NSPR monitor reuse bug with many scheduling points; found quickly by the idiom-driven scheduler");
-    push("radbench.bug6", RadBench, Assertion, crate::radbench::bug6,
-         row(3, 3, Some(1), Some(1), false, true, false),
-         "SpiderMonkey atomisation race");
+    push(
+        "radbench.bug6",
+        RadBench,
+        Assertion,
+        crate::radbench::bug6,
+        row(3, 3, Some(1), Some(1), false, true, false),
+        "SpiderMonkey atomisation race",
+    );
 
     // id 49-51: SPLASH-2
-    push("splash2.barnes", Splash2, Assertion, crate::splash2::barnes,
-         row(2, 2, Some(1), Some(1), false, true, true),
-         "missing wait-for-termination macro; assertion that all workers finished");
-    push("splash2.fft", Splash2, Assertion, crate::splash2::fft,
-         row(2, 2, Some(1), Some(1), false, true, true),
-         "as barnes, with the FFT phase structure");
-    push("splash2.lu", Splash2, Assertion, crate::splash2::lu,
-         row(2, 2, Some(1), Some(1), false, true, true),
-         "as barnes, with the LU phase structure");
+    push(
+        "splash2.barnes",
+        Splash2,
+        Assertion,
+        crate::splash2::barnes,
+        row(2, 2, Some(1), Some(1), false, true, true),
+        "missing wait-for-termination macro; assertion that all workers finished",
+    );
+    push(
+        "splash2.fft",
+        Splash2,
+        Assertion,
+        crate::splash2::fft,
+        row(2, 2, Some(1), Some(1), false, true, true),
+        "as barnes, with the FFT phase structure",
+    );
+    push(
+        "splash2.lu",
+        Splash2,
+        Assertion,
+        crate::splash2::lu,
+        row(2, 2, Some(1), Some(1), false, true, true),
+        "as barnes, with the LU phase structure",
+    );
 
     v
 }

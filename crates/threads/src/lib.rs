@@ -39,13 +39,12 @@
 //! assert!(report.bug_found, "the lost update must be discovered");
 //! ```
 
-use parking_lot::{Condvar, Mutex as PlMutex};
 use sct_core::Scheduler;
 use sct_ir::{Loc, TemplateId};
 use sct_runtime::{Bug, ExecutionOutcome, PendingOp, SchedulingPoint, StepRecord, ThreadId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
 
 /// The visible operations of the closure frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +86,24 @@ struct ControlState {
 }
 
 struct Inner {
-    state: PlMutex<ControlState>,
+    state: StdMutex<ControlState>,
     cond: Condvar,
+}
+
+impl Inner {
+    /// Lock the control state, shrugging off poisoning: test threads are
+    /// expected to panic (failed checks unwind through `request`), and the
+    /// control state stays consistent because every mutation completes before
+    /// any panic can be raised.
+    fn lock(&self) -> StdMutexGuard<'_, ControlState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, guard: StdMutexGuard<'a, ControlState>) -> StdMutexGuard<'a, ControlState> {
+        self.cond
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// Handle to the controlled execution, cloned into every test thread. All
@@ -102,26 +117,26 @@ impl Model {
     fn new() -> Self {
         Model {
             inner: Arc::new(Inner {
-                state: PlMutex::new(ControlState::default()),
+                state: StdMutex::new(ControlState::default()),
                 cond: Condvar::new(),
             }),
         }
     }
 
     fn register_thread(&self) -> usize {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.lock();
         st.statuses.push(Status::Running);
         st.statuses.len() - 1
     }
 
     fn register_mutex(&self) -> usize {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.lock();
         st.mutex_owners.push(None);
         st.mutex_owners.len() - 1
     }
 
     fn register_cell(&self) -> usize {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.lock();
         let id = st.next_cell;
         st.next_cell += 1;
         id
@@ -130,7 +145,7 @@ impl Model {
     /// Park the calling test thread at a visible operation and wait until the
     /// scheduler grants it.
     fn request(&self, me: usize, op: OpKind) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.lock();
         if st.failure.is_some() || st.deadlock {
             // The execution is already over; unwind quietly (or return
             // silently when already unwinding, e.g. from a guard drop).
@@ -150,7 +165,7 @@ impl Model {
                 }
                 std::panic::panic_any(StopExecution);
             }
-            self.inner.cond.wait(&mut st);
+            st = self.inner.wait(st);
         }
         st.granted = None;
         // Apply the operation's effect on the model state.
@@ -164,7 +179,7 @@ impl Model {
     }
 
     fn finish(&self, me: usize, failure: Option<String>) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.lock();
         st.statuses[me] = Status::Finished;
         if st.failure.is_none() {
             st.failure = failure;
@@ -427,10 +442,10 @@ where
     // Coordinator loop.
     let mut step_index = 0usize;
     loop {
-        let mut st = model.inner.state.lock();
+        let mut st = model.inner.lock();
         // Wait until no thread is running invisible code.
-        while st.granted.is_some() || st.statuses.iter().any(|s| *s == Status::Running) {
-            model.inner.cond.wait(&mut st);
+        while st.granted.is_some() || st.statuses.contains(&Status::Running) {
+            st = model.inner.wait(st);
         }
         if st.failure.is_some() {
             break;
@@ -501,13 +516,13 @@ where
 
     // Tear down: wake everything so blocked threads unwind, then join the root.
     {
-        let st = model.inner.state.lock();
+        let st = model.inner.lock();
         model.inner.cond.notify_all();
         drop(st);
     }
     let _ = root.join();
 
-    let st = model.inner.state.lock();
+    let st = model.inner.lock();
     let bug = if let Some(msg) = &st.failure {
         Some(Bug::ExplicitFailure {
             thread: ThreadId(0),

@@ -22,22 +22,15 @@ fn main() {
         let limits = ExploreLimits::with_schedule_limit(2_000);
 
         let idb = iterative_bounding(&program, &config, BoundKind::Delay, &limits);
-        let rand = explore::run_technique(
-            &program,
-            &config,
-            Technique::Random { seed: 7 },
-            &limits,
-        );
+        let rand =
+            explore::run_technique(&program, &config, Technique::Random { seed: 7 }, &limits);
 
         println!("{name}:");
         println!(
             "  IDB : bug at delay bound {:?} after {:?} schedules ({})",
             idb.bound_of_first_bug,
             idb.schedules_to_first_bug,
-            idb.first_bug
-                .as_ref()
-                .map(|b| b.kind())
-                .unwrap_or("no bug")
+            idb.first_bug.as_ref().map(|b| b.kind()).unwrap_or("no bug")
         );
         println!(
             "  Rand: bug after {:?} of {} random schedules ({:.0}% of schedules were buggy)",
@@ -49,13 +42,20 @@ fn main() {
 
     // Reproduce one deadlocking schedule and print it step by step.
     let program = benchmark_by_name("CS.din_phil3_sat").unwrap().program();
-    let outcome = sct::runtime::run_once(
-        &program,
-        &ExecConfig::all_visible(),
-        |point| point.round_robin_choice(),
+    let outcome = sct::runtime::run_once(&program, &ExecConfig::all_visible(), |point| {
+        point.round_robin_choice()
+    });
+    println!(
+        "\nround-robin schedule of CS.din_phil3_sat ({} steps):",
+        outcome.steps.len()
     );
-    println!("\nround-robin schedule of CS.din_phil3_sat ({} steps):", outcome.steps.len());
     let schedule: Vec<String> = outcome.schedule().iter().map(|t| t.to_string()).collect();
     println!("  {}", schedule.join(" "));
-    println!("  outcome: {}", outcome.bug.map(|b| b.to_string()).unwrap_or_else(|| "no bug".into()));
+    println!(
+        "  outcome: {}",
+        outcome
+            .bug
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "no bug".into())
+    );
 }

@@ -36,7 +36,8 @@ fn main() {
         let config = ExecConfig::all_visible();
         let idb = iterative_bounding(&program, &config, BoundKind::Delay, &limits);
         let ipb = iterative_bounding(&program, &config, BoundKind::Preemption, &limits);
-        let rand = explore::run_technique(&program, &config, Technique::Random { seed: 3 }, &limits);
+        let rand =
+            explore::run_technique(&program, &config, Technique::Random { seed: 3 }, &limits);
         let show = |s: &ExplorationStats| {
             s.schedules_to_first_bug
                 .map(|n| n.to_string())
@@ -58,5 +59,7 @@ fn main() {
         }
     }
     println!("\nfaster to the first bug: IDB {idb_wins} benchmarks, Rand {rand_wins} benchmarks");
-    println!("(the paper reports Rand being as good as or faster than IDB on almost all of SCTBench)");
+    println!(
+        "(the paper reports Rand being as good as or faster than IDB on almost all of SCTBench)"
+    );
 }

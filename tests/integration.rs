@@ -150,6 +150,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         seed: 5,
         use_race_phase: true,
         include_pct: false,
+        workers: 2,
     };
     let mut results = run_study(&config, Some("splash2"));
     let more = run_study(&config, Some("CS.din_phil"));
