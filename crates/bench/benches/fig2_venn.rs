@@ -18,6 +18,7 @@ fn bench_fig2(c: &mut Criterion) {
         use_race_phase: true,
         include_pct: false,
         workers: 2,
+        por: false,
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {

@@ -36,6 +36,7 @@ fn bench_table2(c: &mut Criterion) {
         use_race_phase: true,
         include_pct: false,
         workers: 2,
+        por: false,
     };
     let results = sct_harness::run_study(&config, Some("splash2"));
     group.bench_function("derive_table2_counters", |b| {

@@ -3,10 +3,47 @@
 //! on. Exploration is *stateless* (in the model-checking sense): every
 //! schedule is explored by re-executing the program from its initial state,
 //! replaying the decision prefix recorded on the search stack.
+//!
+//! # Sleep-set partial-order reduction
+//!
+//! With [`BoundedDfs::with_sleep_sets`] the search applies Godefroid-style
+//! sleep sets over the [`PendingOp`] summaries of the scheduling point. Each
+//! [`ChoicePoint`] carries a *sleep set*: threads whose subtrees at this node
+//! are already covered by an earlier sibling, together with the pending
+//! operation each was parked at when it was put to sleep. The rules are:
+//!
+//! * when the search backtracks into an alternative at a node, the
+//!   previously-chosen thread is put to sleep at that node — unless the
+//!   schedule bound excluded something inside the subtree just explored
+//!   (tracked by a bound-prune counter snapshot per node), in which case the
+//!   subtree's coverage is incomplete within the bound and the thread stays
+//!   awake;
+//! * a child node inherits its parent's sleep set minus the entries whose
+//!   pending operation is *dependent* on the operation the parent just
+//!   executed (same address with at least one write, or any sync-object /
+//!   thread-lifecycle operation) — a dependent step wakes the sleeper;
+//! * sleeping threads are neither chosen nor recorded as alternatives.
+//!
+//! Because two independent steps commute, the reduced search still explores
+//! at least one interleaving of every Mazurkiewicz trace of the program, so
+//! it finds every bug and reaches every non-buggy terminal state (and every
+//! deadlock) the plain search reaches; only redundant interleavings of
+//! commuting steps are pruned. Executions that stop *mid-trace* at an
+//! assertion or crash may halt at a different — equivalent up to commuting
+//! the remaining steps — intermediate state than their plain-search
+//! counterparts, which is why the differential oracle in
+//! `tests/integration.rs` compares bug sets exactly but fingerprints only of
+//! non-buggy terminal states. A stateless search cannot abandon an execution
+//! midway, so when every enabled thread at a node is asleep (the node's whole
+//! subtree is covered elsewhere) the current execution is *redundant*: the
+//! search completes it along the deterministic choice, records no further
+//! alternatives anywhere below, and flags it via
+//! [`Scheduler::current_execution_redundant`] so the exploration drivers do
+//! not count it as an explored schedule.
 
 use crate::bounds::BoundPolicy;
 use crate::scheduler::Scheduler;
-use sct_runtime::{ExecutionOutcome, SchedulingPoint, ThreadId};
+use sct_runtime::{ExecutionOutcome, PendingOp, SchedulingPoint, ThreadId};
 
 /// A decision on the DFS stack.
 #[derive(Debug, Clone)]
@@ -15,9 +52,24 @@ struct ChoicePoint {
     chosen: ThreadId,
     /// Bound cost of that choice.
     cost: u32,
+    /// Pending-operation summary of `chosen` at this point, refreshed on
+    /// every replay so it always describes the choice in force. This is what
+    /// goes to sleep when the search backtracks away from `chosen`, and what
+    /// child nodes test their inherited sleep entries against. `None` when
+    /// sleep sets are disabled (the summary is never needed then).
+    chosen_op: Option<PendingOp>,
     /// Alternatives (thread, cost) not yet explored at this depth. Stored in
     /// reverse thread order so `pop` explores lower thread ids first.
     alternatives: Vec<(ThreadId, u32)>,
+    /// Sleep set at this node (empty unless sleep sets are enabled).
+    sleep: Vec<PendingOp>,
+    /// Value of [`BoundedDfs::bound_prunes`] when `chosen` was installed.
+    /// If the counter moved by the time the search backtracks, the bound
+    /// excluded something inside `chosen`'s subtree, so its coverage is
+    /// incomplete within this bound and the thread must not go to sleep
+    /// (wake-on-bound-conflict: keeps the reduction sound under schedule
+    /// bounding).
+    bound_prunes_at_entry: u64,
 }
 
 /// Depth-first exploration of all terminal schedules whose total cost under
@@ -39,7 +91,22 @@ pub struct BoundedDfs {
     complete: bool,
     /// Whether the bound excluded at least one alternative anywhere.
     pruned: bool,
+    /// Number of alternatives the bound has excluded so far (the counter
+    /// behind the per-node wake-on-bound-conflict snapshots).
+    bound_prunes: u64,
     executions: u64,
+    /// Whether sleep-set partial-order reduction is enabled.
+    sleep_sets: bool,
+    /// Number of threads put to sleep across the whole search.
+    slept: u64,
+    /// Number of in-budget alternatives not explored because the thread was
+    /// asleep (including whole sleep-blocked nodes).
+    pruned_by_sleep: u64,
+    /// Whether the current execution hit a sleep-blocked node and is being
+    /// completed only because a stateless search cannot stop midway.
+    redundant: bool,
+    /// Number of redundant (sleep-blocked) completions so far.
+    redundant_runs: u64,
 }
 
 impl BoundedDfs {
@@ -56,13 +123,59 @@ impl BoundedDfs {
             first: true,
             complete: false,
             pruned: false,
+            bound_prunes: 0,
             executions: 0,
+            sleep_sets: false,
+            slept: 0,
+            pruned_by_sleep: 0,
+            redundant: false,
+            redundant_runs: 0,
         }
     }
 
     /// Plain depth-first search (no bound).
     pub fn unbounded() -> Self {
         BoundedDfs::new(Box::new(crate::bounds::NoBound), u32::MAX)
+    }
+
+    /// Enable (or disable) sleep-set partial-order reduction. Must be set
+    /// before the first execution. An unbounded search stays exhaustive over
+    /// program states — only redundant interleavings of independent steps
+    /// are pruned (see the module documentation for the soundness argument).
+    /// Under a finite bound, a thread is put to sleep only when its explored
+    /// subtree saw no bound exclusions (wake-on-bound-conflict), so the
+    /// bounded search still covers every state it would have covered without
+    /// the reduction; the pruning simply bites less at tight bounds.
+    pub fn with_sleep_sets(mut self, enabled: bool) -> Self {
+        debug_assert!(self.first, "toggle sleep sets before exploring");
+        self.sleep_sets = enabled;
+        self.label = if enabled {
+            format!("{}({})+ss", self.policy.name(), self.bound)
+        } else {
+            format!("{}({})", self.policy.name(), self.bound)
+        };
+        self
+    }
+
+    /// Whether sleep-set reduction is enabled.
+    pub fn sleep_sets_enabled(&self) -> bool {
+        self.sleep_sets
+    }
+
+    /// Number of threads put to sleep while backtracking.
+    pub fn slept(&self) -> u64 {
+        self.slept
+    }
+
+    /// Number of in-budget alternatives the sleep sets pruned.
+    pub fn pruned_by_sleep(&self) -> u64 {
+        self.pruned_by_sleep
+    }
+
+    /// Number of sleep-blocked executions that were completed but not
+    /// counted (see the module documentation).
+    pub fn redundant_runs(&self) -> u64 {
+        self.redundant_runs
     }
 
     /// Whether the search space has been exhausted.
@@ -105,6 +218,22 @@ impl Scheduler for BoundedDfs {
                     }
                     Some(top) => {
                         if let Some((t, cost)) = top.alternatives.pop() {
+                            if self.sleep_sets {
+                                // The subtree below the old choice was fully
+                                // explored: the thread sleeps at this node
+                                // until a dependent operation wakes it —
+                                // unless the bound excluded something inside
+                                // that subtree, in which case its coverage
+                                // is incomplete within this bound and the
+                                // thread must stay awake.
+                                if self.bound_prunes == top.bound_prunes_at_entry {
+                                    if let Some(op) = top.chosen_op {
+                                        top.sleep.push(op);
+                                        self.slept += 1;
+                                    }
+                                }
+                                top.bound_prunes_at_entry = self.bound_prunes;
+                            }
                             top.chosen = t;
                             top.cost = cost;
                             break;
@@ -116,6 +245,7 @@ impl Scheduler for BoundedDfs {
         }
         self.pos = 0;
         self.used = 0;
+        self.redundant = false;
         self.executions += 1;
         true
     }
@@ -123,21 +253,70 @@ impl Scheduler for BoundedDfs {
     fn choose(&mut self, point: &SchedulingPoint) -> ThreadId {
         if self.pos < self.stack.len() {
             // Replay the recorded prefix.
-            let cp = &self.stack[self.pos];
+            let cp = &mut self.stack[self.pos];
             let chosen = cp.chosen;
             debug_assert!(
                 point.is_enabled(chosen),
                 "replay divergence: {chosen} not enabled at step {}",
                 point.step_index
             );
+            if self.sleep_sets {
+                // After backtracking, `chosen` is a freshly popped
+                // alternative whose pending op was unknown at pop time;
+                // refresh the summary from the live point (a no-op for the
+                // unchanged nodes above the backtrack point).
+                if let Some(op) = point.pending.iter().find(|p| p.thread == chosen) {
+                    cp.chosen_op = Some(*op);
+                }
+            }
             self.used += cp.cost;
             self.pos += 1;
             return chosen;
         }
 
-        // Frontier: follow the deterministic scheduler and record in-budget
-        // alternatives for later exploration.
-        let default = point.round_robin_choice();
+        // Frontier: inherit the sleep set from the parent node. An entry
+        // survives only if its thread did not just run and its pending op is
+        // independent of the op the parent executed — a dependent op wakes
+        // the sleeper.
+        let mut sleep: Vec<PendingOp> = Vec::new();
+        if self.sleep_sets && !self.redundant {
+            if let Some(parent) = self.pos.checked_sub(1).map(|i| &self.stack[i]) {
+                if let Some(parent_op) = parent.chosen_op {
+                    sleep.extend(
+                        parent
+                            .sleep
+                            .iter()
+                            .filter(|u| u.thread != parent.chosen && u.independent_of(&parent_op))
+                            .copied(),
+                    );
+                }
+            }
+        }
+        fn asleep(sleep: &[PendingOp], t: ThreadId) -> bool {
+            sleep.iter().any(|u| u.thread == t)
+        }
+
+        // Follow the deterministic scheduler. When its choice is asleep,
+        // divert to the lowest-id awake enabled thread that still fits the
+        // budget. When no such thread exists the node is *sleep-blocked*:
+        // every subtree below it is covered elsewhere, so the rest of the
+        // execution is redundant — a stateless search cannot stop midway, so
+        // finish it along the deterministic choices, recording no further
+        // alternatives, and let the driver skip its outcome.
+        let mut default = point.round_robin_choice();
+        if self.sleep_sets && !self.redundant && asleep(&sleep, default) {
+            let diverted = point.enabled.iter().copied().find(|&t| {
+                !asleep(&sleep, t)
+                    && self.used.saturating_add(self.policy.cost(point, t)) <= self.bound
+            });
+            match diverted {
+                Some(t) => default = t,
+                None => {
+                    self.redundant = true;
+                    self.redundant_runs += 1;
+                }
+            }
+        }
         let default_cost = self.policy.cost(point, default);
         let mut alternatives: Vec<(ThreadId, u32)> = Vec::new();
         for &t in point.enabled.iter().rev() {
@@ -145,17 +324,42 @@ impl Scheduler for BoundedDfs {
                 continue;
             }
             let cost = self.policy.cost(point, t);
-            if self.used.saturating_add(cost) <= self.bound {
-                alternatives.push((t, cost));
-            } else {
+            if self.used.saturating_add(cost) > self.bound {
+                // Keep detecting bound exclusions on redundant paths too, so
+                // iterative bounding never claims completeness it does not
+                // have.
                 self.pruned = true;
+                self.bound_prunes += 1;
+            } else if self.sleep_sets && asleep(&sleep, t) {
+                // In budget but asleep: pruned by the reduction (this is
+                // where the sleep-blocked node's suppressed expansion is
+                // counted too).
+                self.pruned_by_sleep += 1;
+            } else if self.redundant {
+                // Redundant continuation: covered elsewhere.
+            } else {
+                alternatives.push((t, cost));
             }
         }
+        // The summary of the chosen op is only needed by the reduction;
+        // keep the POR-off hot path free of the scan.
+        let chosen_op = if self.sleep_sets {
+            point
+                .enabled
+                .iter()
+                .position(|&t| t == default)
+                .map(|i| point.pending[i])
+        } else {
+            None
+        };
         self.used = self.used.saturating_add(default_cost);
         self.stack.push(ChoicePoint {
             chosen: default,
             cost: default_cost,
+            chosen_op,
             alternatives,
+            sleep,
+            bound_prunes_at_entry: self.bound_prunes,
         });
         self.pos += 1;
         default
@@ -174,6 +378,14 @@ impl Scheduler for BoundedDfs {
 
     fn is_exhaustive(&self) -> bool {
         self.complete
+    }
+
+    fn sleep_counters(&self) -> (u64, u64) {
+        (self.slept, self.pruned_by_sleep)
+    }
+
+    fn current_execution_redundant(&self) -> bool {
+        self.redundant
     }
 }
 
@@ -195,6 +407,9 @@ mod tests {
             exec.reset();
             let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
             sched.end_execution(&outcome);
+            if sched.current_execution_redundant() {
+                continue;
+            }
             total += 1;
             if outcome.is_buggy() {
                 buggy += 1;
@@ -341,6 +556,121 @@ mod tests {
             loose.end_execution(&outcome);
         }
         assert!(!loose.was_pruned());
+    }
+
+    /// Drive a scheduler over `program` collecting the terminal-state
+    /// fingerprint set, the set of distinct bugs, and the execution count.
+    fn explore_sets(
+        program: &Program,
+        mut sched: BoundedDfs,
+    ) -> (
+        std::collections::BTreeSet<u64>,
+        std::collections::BTreeSet<String>,
+        u64,
+    ) {
+        let config = ExecConfig::all_visible();
+        let mut exec = Execution::new_shared(program, &config);
+        let mut fingerprints = std::collections::BTreeSet::new();
+        let mut bugs = std::collections::BTreeSet::new();
+        let mut counted = 0u64;
+        while sched.begin_execution() {
+            exec.reset();
+            let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
+            sched.end_execution(&outcome);
+            if sched.current_execution_redundant() {
+                continue;
+            }
+            counted += 1;
+            if let Some(bug) = &outcome.bug {
+                bugs.insert(format!("{bug:?}"));
+            } else {
+                // Buggy executions stop mid-trace, so only non-buggy
+                // terminal states are endpoint-preserved by the reduction.
+                fingerprints.insert(outcome.fingerprint);
+            }
+        }
+        assert!(sched.is_complete());
+        (fingerprints, bugs, counted)
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_interleavings_of_independent_writers() {
+        let prog = two_writers();
+        let (plain_fps, plain_bugs, plain_n) = explore_sets(&prog, BoundedDfs::unbounded());
+        let (por_fps, por_bugs, por_n) =
+            explore_sets(&prog, BoundedDfs::unbounded().with_sleep_sets(true));
+        assert_eq!(plain_fps, por_fps, "terminal states must be preserved");
+        assert_eq!(plain_bugs, por_bugs);
+        assert!(
+            por_n < plain_n,
+            "two independent stores must prune: {por_n} vs {plain_n}"
+        );
+    }
+
+    #[test]
+    fn sleep_sets_preserve_the_figure1_bug_and_terminal_states() {
+        let prog = figure1();
+        let (plain_fps, plain_bugs, plain_n) = explore_sets(&prog, BoundedDfs::unbounded());
+        let (por_fps, por_bugs, por_n) =
+            explore_sets(&prog, BoundedDfs::unbounded().with_sleep_sets(true));
+        assert_eq!(plain_fps, por_fps);
+        assert_eq!(plain_bugs, por_bugs);
+        assert!(!por_bugs.is_empty(), "figure1's assertion bug must survive");
+        assert!(por_n < plain_n, "{por_n} vs {plain_n}");
+    }
+
+    #[test]
+    fn sleep_set_counters_and_label_reflect_the_reduction() {
+        let prog = figure1();
+        let sched = BoundedDfs::unbounded().with_sleep_sets(true);
+        assert!(sched.sleep_sets_enabled());
+        assert!(sched.name().ends_with("+ss"));
+        let mut sched = sched;
+        let config = ExecConfig::all_visible();
+        let mut exec = Execution::new_shared(&prog, &config);
+        while sched.begin_execution() {
+            exec.reset();
+            let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
+            sched.end_execution(&outcome);
+        }
+        assert!(sched.slept() > 0, "backtracking must put threads to sleep");
+        assert!(sched.pruned_by_sleep() > 0, "figure1 has commuting stores");
+        assert_eq!(
+            sched.sleep_counters(),
+            (sched.slept(), sched.pruned_by_sleep())
+        );
+        // Plain DFS reports zero on both counters.
+        let plain = BoundedDfs::unbounded();
+        assert_eq!(plain.sleep_counters(), (0, 0));
+        assert!(!plain.name().ends_with("+ss"));
+    }
+
+    #[test]
+    fn bounded_search_with_sleep_sets_stays_within_the_bound_and_finds_the_bug() {
+        // The reduction composes with schedule bounding: preemption bound 1
+        // still finds Figure 1's bug with strictly fewer executions, and
+        // bound 0 still explores exactly the deterministic schedule.
+        let prog = figure1();
+        let (_, b0, c0) = drive(
+            &prog,
+            BoundedDfs::new(Box::new(DelayBound), 0).with_sleep_sets(true),
+            10_000,
+        );
+        assert!(c0);
+        assert_eq!(b0, 0);
+        let (plain_total, plain_buggy, _) =
+            drive(&prog, BoundedDfs::new(Box::new(PreemptionBound), 1), 10_000);
+        let (por_total, por_buggy, complete) = drive(
+            &prog,
+            BoundedDfs::new(Box::new(PreemptionBound), 1).with_sleep_sets(true),
+            10_000,
+        );
+        assert!(complete);
+        assert!(plain_buggy > 0 && por_buggy > 0);
+        assert!(
+            por_total <= plain_total,
+            "reduction must not grow the bounded space: {por_total} vs {plain_total}"
+        );
     }
 
     #[test]

@@ -11,13 +11,16 @@ use crate::stats::ExplorationStats;
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution, NoopObserver};
 
-/// Limits applied to an exploration.
+/// Limits and switches applied to an exploration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
     /// Maximum number of terminal schedules to explore (the study uses 10,000).
     pub schedule_limit: u64,
     /// Maximum bound tried by iterative bounding before giving up.
     pub max_bound: u32,
+    /// Enable sleep-set partial-order reduction in the systematic searches
+    /// (DFS, IPB, IDB). Randomised techniques ignore the flag.
+    pub por: bool,
 }
 
 impl Default for ExploreLimits {
@@ -25,6 +28,7 @@ impl Default for ExploreLimits {
         ExploreLimits {
             schedule_limit: 10_000,
             max_bound: 64,
+            por: false,
         }
     }
 }
@@ -36,6 +40,12 @@ impl ExploreLimits {
             schedule_limit,
             ..Default::default()
         }
+    }
+
+    /// The same limits with sleep-set partial-order reduction switched on
+    /// (or off).
+    pub fn with_por(self, por: bool) -> Self {
+        ExploreLimits { por, ..self }
     }
 }
 
@@ -113,10 +123,18 @@ pub fn explore_with(
         exec.reset();
         let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
         scheduler.end_execution(&outcome);
+        if scheduler.current_execution_redundant() {
+            // A sleep-blocked completion: every state it visited is covered
+            // by another explored schedule, so it is not a new schedule.
+            continue;
+        }
         stats.record(&outcome);
     }
     stats.complete = scheduler.is_exhaustive();
     stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit;
+    let (slept, pruned_by_sleep) = scheduler.sleep_counters();
+    stats.slept = slept;
+    stats.pruned_by_sleep = pruned_by_sleep;
     stats
 }
 
@@ -129,7 +147,7 @@ pub fn bounded_dfs(
     bound: u32,
     limits: &ExploreLimits,
 ) -> ExplorationStats {
-    let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+    let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
     let mut stats = explore_with(program, config, &mut scheduler, limits);
     stats.final_bound = Some(bound);
     if stats.found_bug() {
@@ -161,12 +179,15 @@ pub fn iterative_bounding(
     let mut agg = ExplorationStats::new(label);
     let mut exec = Execution::new_shared(program, config);
     for bound in 0..=limits.max_bound {
-        let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+        let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut new_at_bound = 0u64;
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
             exec.reset();
             let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
             scheduler.end_execution(&outcome);
+            if scheduler.current_execution_redundant() {
+                continue;
+            }
             let cost = match kind {
                 BoundKind::Preemption => outcome.preemption_count(),
                 BoundKind::Delay => outcome.delay_count(),
@@ -182,6 +203,9 @@ pub fn iterative_bounding(
                 agg.record(&outcome);
             }
         }
+        let (slept, pruned_by_sleep) = scheduler.sleep_counters();
+        agg.slept += slept;
+        agg.pruned_by_sleep += pruned_by_sleep;
         agg.final_bound = Some(bound);
         agg.new_schedules_at_final_bound = new_at_bound;
         if agg.found_bug() && agg.bound_of_first_bug.is_none() {
@@ -219,7 +243,7 @@ pub fn run_technique(
 ) -> ExplorationStats {
     match technique {
         Technique::Dfs => {
-            let mut scheduler = BoundedDfs::unbounded();
+            let mut scheduler = BoundedDfs::unbounded().with_sleep_sets(limits.por);
             explore_with(program, config, &mut scheduler, limits)
         }
         Technique::IterativePreemptionBounding => {

@@ -176,7 +176,7 @@ pub fn explore_sharded(
                 let technique = shard_technique(technique, i as u64);
                 let shard_limits = ExploreLimits {
                     schedule_limit: budget,
-                    max_bound: limits.max_bound,
+                    ..*limits
                 };
                 scope.spawn(move || {
                     explore::run_technique(program, config, technique, &shard_limits)
@@ -220,7 +220,7 @@ pub fn explore_sharded_serial(
             let technique = shard_technique(technique, i as u64);
             let shard_limits = ExploreLimits {
                 schedule_limit: budget,
-                max_bound: limits.max_bound,
+                ..*limits
             };
             explore::run_technique(program, config, technique, &shard_limits)
         })
@@ -239,10 +239,17 @@ struct ScheduleDigest {
     scheduling_points: usize,
     /// Set only for buggy schedules (the fold clones it for the first bug).
     bug: Option<Bug>,
+    /// Cumulative sleep-set counters of the level's scheduler *after* the
+    /// execution that produced this digest. When the budget truncates a
+    /// level mid-way, the serial driver stops right after the counted
+    /// schedule that filled it, so the fold charges the counters as of that
+    /// schedule rather than the level's final values.
+    slept: u64,
+    pruned_by_sleep: u64,
 }
 
 impl ScheduleDigest {
-    fn of(outcome: &ExecutionOutcome) -> Self {
+    fn of(outcome: &ExecutionOutcome, (slept, pruned_by_sleep): (u64, u64)) -> Self {
         let buggy = outcome.is_buggy();
         ScheduleDigest {
             buggy,
@@ -251,6 +258,8 @@ impl ScheduleDigest {
             max_enabled: outcome.max_enabled,
             scheduling_points: outcome.scheduling_points,
             bug: if buggy { outcome.bug.clone() } else { None },
+            slept,
+            pruned_by_sleep,
         }
     }
 }
@@ -276,6 +285,10 @@ struct BoundRun {
     /// Whether the bounded DFS exhausted the bound (never true when aborted).
     complete: bool,
     pruned: bool,
+    /// Final sleep-set counters of the level (used when the fold applies the
+    /// level in full; truncated folds use the per-digest snapshots).
+    slept: u64,
+    pruned_by_sleep: u64,
 }
 
 fn run_bound(
@@ -283,10 +296,11 @@ fn run_bound(
     config: &ExecConfig,
     kind: BoundKind,
     bound: u32,
-    cap: u64,
+    limits: &ExploreLimits,
     stop: &AtomicBool,
 ) -> BoundRun {
-    let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+    let cap = limits.schedule_limit;
+    let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
     let mut exec = Execution::new_shared(program, config);
     let mut digests: Vec<ScheduleDigest> = Vec::new();
     let mut aborted = false;
@@ -300,20 +314,26 @@ fn run_bound(
         exec.reset();
         let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
         scheduler.end_execution(&outcome);
+        if scheduler.current_execution_redundant() {
+            continue;
+        }
         let cost = match kind {
             BoundKind::Preemption => outcome.preemption_count(),
             BoundKind::Delay => outcome.delay_count(),
             BoundKind::None => 0,
         };
         if cost == bound || bound == 0 {
-            digests.push(ScheduleDigest::of(&outcome));
+            digests.push(ScheduleDigest::of(&outcome, scheduler.sleep_counters()));
         }
     }
+    let (slept, pruned_by_sleep) = scheduler.sleep_counters();
     BoundRun {
         bound,
         digests,
         complete: scheduler.is_complete() && !aborted,
         pruned: scheduler.was_pruned(),
+        slept,
+        pruned_by_sleep,
     }
 }
 
@@ -323,6 +343,8 @@ fn run_bound(
 fn fold_bound(agg: &mut ExplorationStats, run: &BoundRun, limits: &ExploreLimits) -> bool {
     let mut new_at_bound = 0u64;
     let mut truncated = false;
+    let mut level_slept = 0u64;
+    let mut level_pruned_by_sleep = 0u64;
     for d in &run.digests {
         // The serial driver checks the budget before every execution; the
         // check's outcome only changes when a *counted* schedule lands, so
@@ -333,12 +355,24 @@ fn fold_bound(agg: &mut ExplorationStats, run: &BoundRun, limits: &ExploreLimits
         }
         record_digest(agg, d);
         new_at_bound += 1;
+        level_slept = d.slept;
+        level_pruned_by_sleep = d.pruned_by_sleep;
     }
     // The serial `BoundedDfs` only learns it exhausted the bound from the
     // `begin_execution` call *after* the last execution; once the budget is
     // spent that call never happens, so the bound does not count as finished
     // even when the digest list happens to be exactly exhausted.
     let finished_bound = !truncated && agg.schedules < limits.schedule_limit && run.complete;
+    // Sleep-counter accounting mirrors the serial driver: it leaves a level
+    // either because the budget filled — right after the counted schedule
+    // that filled it, so the counters are that schedule's snapshot — or
+    // because the level's DFS was exhausted, with the level's final counters.
+    if !truncated && agg.schedules < limits.schedule_limit {
+        level_slept = run.slept;
+        level_pruned_by_sleep = run.pruned_by_sleep;
+    }
+    agg.slept += level_slept;
+    agg.pruned_by_sleep += level_pruned_by_sleep;
 
     agg.final_bound = Some(run.bound);
     agg.new_schedules_at_final_bound = new_at_bound;
@@ -403,11 +437,7 @@ pub fn parallel_iterative_bounding(
         thread::scope(|scope| {
             let stop = &stop;
             let handles: Vec<_> = (bound..=wave_last)
-                .map(|b| {
-                    scope.spawn(move || {
-                        run_bound(program, config, kind, b, limits.schedule_limit, stop)
-                    })
-                })
+                .map(|b| scope.spawn(move || run_bound(program, config, kind, b, limits, stop)))
                 .collect();
             // Join in bound order and fold incrementally, so the stop flag
             // cancels higher levels as soon as the serial rule fires.
@@ -558,6 +588,29 @@ mod tests {
                 let parallel =
                     parallel_iterative_bounding(&prog, &config(), kind, &limits, workers);
                 assert_eq!(serial, parallel, "{kind:?} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_with_sleep_sets_matches_serial() {
+        // The serial≡parallel guarantee must survive the reduction: the
+        // whole stats struct — including the slept / pruned_by_sleep
+        // counters — folds bit-identically at any worker count, with and
+        // without budget truncation.
+        let prog = figure1();
+        for limit in [3u64, 10_000] {
+            let limits = ExploreLimits::with_schedule_limit(limit).with_por(true);
+            for kind in [BoundKind::Delay, BoundKind::Preemption] {
+                let serial = explore::iterative_bounding(&prog, &config(), kind, &limits);
+                for workers in [2, 4, 8] {
+                    let parallel =
+                        parallel_iterative_bounding(&prog, &config(), kind, &limits, workers);
+                    assert_eq!(
+                        serial, parallel,
+                        "{kind:?} with {workers} workers at limit {limit}"
+                    );
+                }
             }
         }
     }

@@ -36,6 +36,25 @@ pub trait Scheduler {
     fn is_exhaustive(&self) -> bool {
         false
     }
+
+    /// Partial-order-reduction counters `(slept, pruned_by_sleep)`
+    /// accumulated so far; `(0, 0)` for strategies without reduction. The
+    /// exploration drivers copy these into
+    /// [`ExplorationStats`](crate::stats::ExplorationStats).
+    fn sleep_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Whether the execution that just finished was recognised as redundant
+    /// (every state it visits past some point is covered by another explored
+    /// schedule, as with a sleep-blocked node in sleep-set reduction).
+    /// Drivers must not count a redundant execution as an explored schedule.
+    /// Meaningful between [`Scheduler::end_execution`] and the next
+    /// [`Scheduler::begin_execution`]; always `false` for strategies without
+    /// reduction.
+    fn current_execution_redundant(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial scheduler that always follows the non-preemptive round-robin

@@ -32,6 +32,11 @@ pub struct ExplorationStats {
     pub total_threads: usize,
     /// Number of executions cut short by the step limit.
     pub diverged_schedules: u64,
+    /// Number of threads put to sleep by sleep-set partial-order reduction
+    /// (0 when the reduction is off or the technique has none).
+    pub slept: u64,
+    /// Number of in-budget alternatives sleep sets pruned from the search.
+    pub pruned_by_sleep: u64,
     /// Whether the technique exhausted its entire search space.
     pub complete: bool,
     /// Whether exploration stopped because the schedule limit was reached.
@@ -54,6 +59,8 @@ impl ExplorationStats {
             max_scheduling_points: 0,
             total_threads: 0,
             diverged_schedules: 0,
+            slept: 0,
+            pruned_by_sleep: 0,
             complete: false,
             hit_schedule_limit: false,
         }
@@ -128,6 +135,8 @@ impl ExplorationStats {
         self.schedules += other.schedules;
         self.buggy_schedules += other.buggy_schedules;
         self.diverged_schedules += other.diverged_schedules;
+        self.slept += other.slept;
+        self.pruned_by_sleep += other.pruned_by_sleep;
         match (self.final_bound, other.final_bound) {
             (Some(a), Some(b)) if a == b => {
                 self.new_schedules_at_final_bound += other.new_schedules_at_final_bound;
@@ -197,7 +206,7 @@ mod tests {
             },
             steps: vec![StepRecord {
                 thread: ThreadId(0),
-                enabled: vec![ThreadId(0)],
+                enabled: sct_runtime::ThreadSet::from_slice(&[ThreadId(0)]),
                 last_enabled: false,
                 last: None,
                 num_threads: 1,

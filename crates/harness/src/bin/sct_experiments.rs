@@ -4,8 +4,12 @@
 //!
 //! ```text
 //! sct-experiments [--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR]
-//!                 [--no-race-phase] [--with-pct] [--workers N] [--out DIR]
+//!                 [--no-race-phase] [--with-pct] [--por] [--workers N] [--out DIR]
 //! ```
+//!
+//! `--por` runs the systematic techniques (DFS, IPB, IDB) with sleep-set
+//! partial-order reduction, shrinking their schedule spaces without losing
+//! bugs or terminal states.
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
 //! default here is a laptop-friendly 2,000 schedules.
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
             "--filter" => filter = Some(value("--filter")?),
             "--no-race-phase" => config.use_race_phase = false,
             "--with-pct" => config.include_pct = true,
+            "--por" => config.por = true,
             "--workers" => {
                 config.workers = value("--workers")?
                     .parse::<usize>()
@@ -64,7 +69,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: sct-experiments [--schedules N] [--race-runs N] [--seed N] \
-                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--workers N] [--out DIR]"
+                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--por] [--workers N] \
+                     [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -88,12 +94,17 @@ fn main() {
     };
 
     eprintln!(
-        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers",
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}",
         args.config.schedule_limit,
         args.config.race_runs,
         args.config.seed,
         args.filter,
-        args.config.workers
+        args.config.workers,
+        if args.config.por {
+            ", sleep-set POR"
+        } else {
+            ""
+        }
     );
     let started = std::time::Instant::now();
     let results = run_study(&args.config, args.filter.as_deref());

@@ -190,6 +190,7 @@ mod tests {
             use_race_phase: true,
             include_pct: false,
             workers: 2,
+            por: false,
         };
         run_study(&config, Some("splash2"))
     }

@@ -26,6 +26,10 @@ pub struct HarnessConfig {
     /// its schedulers with their serial seeds, so the collected statistics
     /// are identical to a serial run at any worker count.
     pub workers: usize,
+    /// Enable sleep-set partial-order reduction in the systematic searches
+    /// (DFS, IPB, IDB). Off by default because the paper's study ran without
+    /// reduction; `sct-experiments --por` switches it on.
+    pub por: bool,
 }
 
 impl Default for HarnessConfig {
@@ -37,6 +41,7 @@ impl Default for HarnessConfig {
             use_race_phase: true,
             include_pct: false,
             workers: default_workers(),
+            por: false,
         }
     }
 }
@@ -109,6 +114,9 @@ pub struct StudyResults {
     pub benchmarks: Vec<BenchmarkResult>,
     /// The configuration the study was run with.
     pub schedule_limit: u64,
+    /// Whether the systematic searches ran with sleep-set partial-order
+    /// reduction.
+    pub por: bool,
 }
 
 /// The techniques a study run uses, in Table 3 column order.
@@ -154,7 +162,7 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
     } else {
         ExecConfig::all_visible()
     };
-    let limits = ExploreLimits::with_schedule_limit(config.schedule_limit);
+    let limits = ExploreLimits::with_schedule_limit(config.schedule_limit).with_por(config.por);
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
@@ -205,6 +213,7 @@ pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
     StudyResults {
         benchmarks,
         schedule_limit: config.schedule_limit,
+        por: config.por,
     }
 }
 
@@ -221,6 +230,7 @@ mod tests {
             use_race_phase: true,
             include_pct: false,
             workers: 2,
+            por: false,
         }
     }
 
@@ -278,10 +288,12 @@ mod tests {
         // included.
         let serial_cfg = HarnessConfig {
             workers: 1,
+            por: false,
             ..quick_config()
         };
         let parallel_cfg = HarnessConfig {
             workers: 4,
+            por: false,
             ..quick_config()
         };
         let serial = run_study(&serial_cfg, Some("splash2"));

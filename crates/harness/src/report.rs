@@ -129,6 +129,7 @@ mod tests {
             use_race_phase: true,
             include_pct: false,
             workers: 2,
+            por: false,
         };
         let results = run_study(&config, Some("splash2"));
         let md = experiments_markdown(&results);

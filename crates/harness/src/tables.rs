@@ -114,8 +114,13 @@ pub fn table3(results: &StudyResults) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Table 3: Experimental results (schedule limit {}).",
-        results.schedule_limit
+        "Table 3: Experimental results (schedule limit {}{}).",
+        results.schedule_limit,
+        if results.por {
+            "; DFS/IPB/IDB with sleep-set partial-order reduction"
+        } else {
+            ""
+        }
     );
     let _ = writeln!(
         out,
@@ -171,13 +176,14 @@ pub fn table3(results: &StudyResults) -> String {
 pub fn table3_csv(results: &StudyResults) -> String {
     let mut out = String::from(
         "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
-         bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,complete,hit_limit\n",
+         bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,\
+         slept,pruned_by_sleep,complete,hit_limit\n",
     );
     for b in &results.benchmarks {
         for t in &b.techniques {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 b.id,
                 b.name,
                 b.suite,
@@ -193,6 +199,8 @@ pub fn table3_csv(results: &StudyResults) -> String {
                 t.new_schedules_at_final_bound,
                 t.buggy_schedules,
                 t.diverged_schedules,
+                t.slept,
+                t.pruned_by_sleep,
                 t.complete,
                 t.hit_schedule_limit,
             );
@@ -214,6 +222,7 @@ mod tests {
             use_race_phase: true,
             include_pct: false,
             workers: 2,
+            por: false,
         };
         run_study(&config, Some("splash2"))
     }

@@ -899,7 +899,7 @@ impl<'p> Execution<'p> {
             }
             self.steps.push(StepRecord {
                 thread: choice,
-                enabled: enabled.clone(),
+                enabled: crate::ThreadSet::from_slice(&enabled),
                 last_enabled: point.last_enabled,
                 last: point.last,
                 num_threads: point.num_threads,

@@ -37,6 +37,7 @@ pub mod observer;
 pub mod outcome;
 pub mod point;
 pub mod thread;
+pub mod threadset;
 
 pub use bug::Bug;
 pub use config::{ExecConfig, VisibilityMode};
@@ -45,6 +46,7 @@ pub use observer::{ExecObserver, NoopObserver, SyncObjectId};
 pub use outcome::{ExecutionOutcome, StepRecord};
 pub use point::{PendingOp, SchedulingPoint};
 pub use thread::{ThreadId, ThreadStatus};
+pub use threadset::ThreadSet;
 
 use sct_ir::Program;
 

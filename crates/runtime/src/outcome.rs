@@ -3,15 +3,16 @@
 
 use crate::bug::Bug;
 use crate::thread::ThreadId;
+use crate::threadset::ThreadSet;
 
 /// One recorded step of an execution: the chosen thread plus the information
 /// needed to recompute preemption and delay counts after the fact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepRecord {
+    /// Threads that were enabled at the scheduling point.
+    pub enabled: ThreadSet,
     /// Thread that executed this step.
     pub thread: ThreadId,
-    /// Threads that were enabled at the scheduling point (thread-id order).
-    pub enabled: Vec<ThreadId>,
     /// Whether the previously running thread was still enabled.
     pub last_enabled: bool,
     /// The previously running thread.
@@ -84,7 +85,7 @@ impl ExecutionOutcome {
                     let skipped_enabled = if Some(skipped) == s.last {
                         s.last_enabled
                     } else {
-                        s.enabled.contains(&skipped)
+                        s.enabled.contains(skipped)
                     };
                     if skipped_enabled {
                         delays += 1;
@@ -123,6 +124,15 @@ mod tests {
             last: last.map(ThreadId),
             num_threads,
         }
+    }
+
+    #[test]
+    fn enabled_set_round_trips_through_the_bitset() {
+        let s = step(0, &[0, 2, 5], None, false, 6);
+        assert!(s.enabled.contains(ThreadId(0)));
+        assert!(!s.enabled.contains(ThreadId(1)));
+        assert!(s.enabled.contains(ThreadId(5)));
+        assert_eq!(s.enabled.len(), 3);
     }
 
     fn outcome(steps: Vec<StepRecord>) -> ExecutionOutcome {

@@ -20,6 +20,23 @@ pub struct PendingOp {
     pub is_write: bool,
 }
 
+impl PendingOp {
+    /// Conservative independence between the *steps* these two summaries
+    /// begin: true only when both are shared-memory accesses that commute —
+    /// different addresses, or the same address with neither writing. A
+    /// pending operation with no address (lock, unlock, spawn, join, wait,
+    /// signal, semaphore and barrier operations, yield) is treated as
+    /// dependent on everything, which is what makes sleep-set partial-order
+    /// reduction over these summaries sound: an operation that can affect
+    /// another thread's enabledness always wakes sleeping threads.
+    pub fn independent_of(&self, other: &PendingOp) -> bool {
+        match (self.addr, other.addr) {
+            (Some(a), Some(b)) => a != b || !(self.is_write || other.is_write),
+            _ => false,
+        }
+    }
+}
+
 /// The state presented to a scheduler at a scheduling point.
 #[derive(Debug, Clone)]
 pub struct SchedulingPoint {
@@ -196,6 +213,31 @@ mod tests {
         let p = point(&[0], None, false, 1);
         assert_eq!(p.delays_for(ThreadId(0)), 0);
         assert_eq!(p.preemptions_for(ThreadId(0)), 0);
+    }
+
+    #[test]
+    fn pending_op_independence_matches_the_dependence_relation() {
+        let op = |thread: usize, addr: Option<usize>, is_write: bool| PendingOp {
+            thread: ThreadId(thread),
+            loc: Loc {
+                template: TemplateId(0),
+                pc: 0,
+            },
+            addr,
+            is_write,
+        };
+        // Reads of different cells, and of the same cell, commute.
+        assert!(op(0, Some(1), false).independent_of(&op(1, Some(2), false)));
+        assert!(op(0, Some(1), false).independent_of(&op(1, Some(1), false)));
+        // Writes commute only across different cells.
+        assert!(op(0, Some(1), true).independent_of(&op(1, Some(2), true)));
+        assert!(!op(0, Some(1), true).independent_of(&op(1, Some(1), false)));
+        assert!(!op(0, Some(1), false).independent_of(&op(1, Some(1), true)));
+        // Address-less operations (sync objects, spawn, join, yield) are
+        // dependent on everything, in both argument positions.
+        assert!(!op(0, None, false).independent_of(&op(1, Some(1), false)));
+        assert!(!op(0, Some(1), false).independent_of(&op(1, None, false)));
+        assert!(!op(0, None, false).independent_of(&op(1, None, false)));
     }
 
     #[test]

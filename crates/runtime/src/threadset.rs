@@ -1,0 +1,194 @@
+//! A compact set of thread ids.
+//!
+//! [`StepRecord`](crate::StepRecord) stores the enabled set of every step of
+//! every execution; with a `Vec<ThreadId>` that was one heap allocation per
+//! step in the exploration hot path. `ThreadSet` keeps thread ids 0..64 in a
+//! single inline word — enough for 51 of the 52 SCTBench programs — and
+//! spills to heap words only for programs with more threads (twostage_100
+//! creates 101).
+
+use crate::thread::ThreadId;
+
+const INLINE_BITS: usize = 64;
+
+/// A set of [`ThreadId`]s backed by a small bitset: one inline 64-bit word
+/// for ids `0..64`, heap words for larger ids.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct ThreadSet {
+    /// Bit `i` set ⇔ thread `i` is in the set, for `i < 64`.
+    lo: u64,
+    /// Bit `i` of word `w` set ⇔ thread `64 * (w + 1) + i` is in the set.
+    /// Empty (no allocation) while every member is below 64.
+    hi: Vec<u64>,
+}
+
+impl ThreadSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ThreadSet::default()
+    }
+
+    /// The set of the given threads.
+    pub fn from_slice(threads: &[ThreadId]) -> Self {
+        let mut set = ThreadSet::new();
+        for &t in threads {
+            set.insert(t);
+        }
+        set
+    }
+
+    /// Add `t` to the set.
+    pub fn insert(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i < INLINE_BITS {
+            self.lo |= 1 << i;
+        } else {
+            let word = i / INLINE_BITS - 1;
+            if self.hi.len() <= word {
+                self.hi.resize(word + 1, 0);
+            }
+            self.hi[word] |= 1 << (i % INLINE_BITS);
+        }
+    }
+
+    /// Whether `t` is in the set.
+    pub fn contains(&self, t: ThreadId) -> bool {
+        let i = t.index();
+        if i < INLINE_BITS {
+            self.lo & (1 << i) != 0
+        } else {
+            self.hi
+                .get(i / INLINE_BITS - 1)
+                .is_some_and(|w| w & (1 << (i % INLINE_BITS)) != 0)
+        }
+    }
+
+    /// Number of threads in the set.
+    pub fn len(&self) -> usize {
+        self.lo.count_ones() as usize
+            + self
+                .hi
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo == 0 && self.hi.iter().all(|&w| w == 0)
+    }
+
+    /// The members in ascending thread-id order.
+    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        std::iter::once(self.lo)
+            .chain(self.hi.iter().copied())
+            .enumerate()
+            .flat_map(|(word, bits)| {
+                BitIter(bits).map(move |bit| ThreadId(word * INLINE_BITS + bit))
+            })
+    }
+}
+
+impl FromIterator<ThreadId> for ThreadSet {
+    fn from_iter<I: IntoIterator<Item = ThreadId>>(iter: I) -> Self {
+        let mut set = ThreadSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl std::fmt::Debug for ThreadSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|t| t.index()))
+            .finish()
+    }
+}
+
+/// Iterator over the set bit positions of one word, low to high.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_membership_up_to_64_threads() {
+        // Every subset shape we care about below 64 ids: singletons, the
+        // extremes, and a scattered pattern — membership must survive the
+        // Vec<ThreadId> → ThreadSet round trip bit for bit.
+        for n in 1..=64usize {
+            let members: Vec<ThreadId> = (0..n).filter(|i| i % 3 != 1).map(ThreadId).collect();
+            let set = ThreadSet::from_slice(&members);
+            for i in 0..n {
+                assert_eq!(
+                    set.contains(ThreadId(i)),
+                    i % 3 != 1,
+                    "membership of thread {i} with {n} threads"
+                );
+            }
+            assert_eq!(set.len(), members.len());
+            let back: Vec<ThreadId> = set.iter().collect();
+            assert_eq!(back, members, "iteration order is ascending");
+            assert!(!set.contains(ThreadId(n)), "absent id {n} must not appear");
+        }
+        let full: ThreadSet = (0..64).map(ThreadId).collect();
+        assert_eq!(full.len(), 64);
+        assert!(full.contains(ThreadId(63)));
+        assert!(!full.contains(ThreadId(64)));
+    }
+
+    #[test]
+    fn spills_past_64_threads_without_losing_low_members() {
+        // twostage_100 creates 101 threads; the spill words must compose with
+        // the inline word transparently.
+        let members: Vec<ThreadId> = [0, 1, 63, 64, 65, 100, 127, 128, 200]
+            .into_iter()
+            .map(ThreadId)
+            .collect();
+        let set = ThreadSet::from_slice(&members);
+        for &t in &members {
+            assert!(set.contains(t), "{t} lost");
+        }
+        for absent in [2, 62, 66, 99, 101, 129, 199, 201] {
+            assert!(!set.contains(ThreadId(absent)), "{absent} phantom");
+        }
+        assert_eq!(set.len(), members.len());
+        assert_eq!(set.iter().collect::<Vec<_>>(), members);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let set = ThreadSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.iter().count(), 0);
+        assert!(!set.contains(ThreadId(0)));
+        assert!(!set.contains(ThreadId(500)));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_spill_words() {
+        // Two sets with the same members built along different insertion
+        // paths must compare equal when neither allocated spill words.
+        let a = ThreadSet::from_slice(&[ThreadId(3), ThreadId(7)]);
+        let b: ThreadSet = [ThreadId(7), ThreadId(3)].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "{3, 7}");
+    }
+}

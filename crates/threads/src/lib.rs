@@ -41,7 +41,9 @@
 
 use sct_core::Scheduler;
 use sct_ir::{Loc, TemplateId};
-use sct_runtime::{Bug, ExecutionOutcome, PendingOp, SchedulingPoint, StepRecord, ThreadId};
+use sct_runtime::{
+    Bug, ExecutionOutcome, PendingOp, SchedulingPoint, StepRecord, ThreadId, ThreadSet,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
@@ -502,7 +504,7 @@ where
         let num_threads = st.statuses.len();
         st.steps.push(StepRecord {
             thread: choice,
-            enabled: enabled.clone(),
+            enabled: ThreadSet::from_slice(&enabled),
             last_enabled,
             last,
             num_threads,
@@ -570,6 +572,11 @@ where
     while scheduler.begin_execution() {
         let outcome = run_once(&body, &mut |p| scheduler.choose(p));
         scheduler.end_execution(&outcome);
+        if scheduler.current_execution_redundant() {
+            // A reducing scheduler (e.g. DFS with sleep sets) recognised the
+            // execution as covered elsewhere; it is not an explored schedule.
+            continue;
+        }
         report.executions += 1;
         if matches!(outcome.bug, Some(Bug::Deadlock { .. })) {
             report.deadlocks += 1;

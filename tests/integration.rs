@@ -151,6 +151,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         use_race_phase: true,
         include_pct: false,
         workers: 2,
+        por: false,
     };
     let mut results = run_study(&config, Some("splash2"));
     let more = run_study(&config, Some("CS.din_phil"));
@@ -223,4 +224,219 @@ fn loom_style_frontend_agrees_with_the_ir_frontend_on_a_lost_update() {
         Box::new(sct::core::RandomScheduler::new(400, 17)),
     );
     assert!(report.bug_found);
+}
+
+// ---------------------------------------------------------------------------
+// Sleep-set partial-order reduction: the differential-testing harness.
+// ---------------------------------------------------------------------------
+
+/// Unbounded DFS over `program`, optionally with sleep sets, within a cap on
+/// started executions. Returns `None` when the space is intractable (cap hit
+/// or divergence); otherwise the set of distinct bugs (Debug-formatted), the
+/// set of terminal-state fingerprints of *non-buggy* executions, and the
+/// number of explored (counted) schedules.
+///
+/// Buggy executions stop mid-trace at the failing operation, so two
+/// equivalent interleavings can halt at different intermediate states; their
+/// fingerprints are therefore not comparable across the reduction, while the
+/// bugs themselves and all non-buggy terminal states must match exactly.
+fn dfs_exploration_sets(
+    program: &sct::ir::Program,
+    por: bool,
+    cap: u64,
+) -> Option<(
+    std::collections::BTreeSet<String>,
+    std::collections::BTreeSet<u64>,
+    u64,
+)> {
+    use sct::runtime::{Execution, NoopObserver};
+    let config = ExecConfig::all_visible();
+    let mut sched = BoundedDfs::unbounded().with_sleep_sets(por);
+    let mut exec = Execution::new_shared(program, &config);
+    let mut bugs = std::collections::BTreeSet::new();
+    let mut fingerprints = std::collections::BTreeSet::new();
+    let mut counted = 0u64;
+    let mut started = 0u64;
+    while sched.begin_execution() {
+        started += 1;
+        if started > cap {
+            return None;
+        }
+        exec.reset();
+        let outcome = exec.run(&mut |p| sched.choose(p), &mut NoopObserver);
+        sched.end_execution(&outcome);
+        if outcome.diverged {
+            return None;
+        }
+        if sched.current_execution_redundant() {
+            continue;
+        }
+        counted += 1;
+        match &outcome.bug {
+            Some(bug) => {
+                bugs.insert(format!("{bug:?}"));
+            }
+            None => {
+                fingerprints.insert(outcome.fingerprint);
+            }
+        }
+    }
+    assert!(sched.is_complete());
+    Some((bugs, fingerprints, counted))
+}
+
+/// The SCTBench benchmarks whose full (unbounded, all-accesses-visible) DFS
+/// space is small enough to exhaust in a unit-test budget. Kept explicit so
+/// the differential suite stays fast; benchmarks that outgrow the cap are
+/// skipped with the tractability counters below keeping the suite honest.
+const TRACTABLE_DFS_BENCHMARKS: &[&str] = &[
+    "CB.stringbuffer-jdk1.4",
+    "CS.account_bad",
+    "CS.arithmetic_prog_bad",
+    "CS.bluetooth_driver_bad",
+    "CS.carter01_bad",
+    "CS.deadlock01_bad",
+    "CS.din_phil2_sat",
+    "CS.din_phil3_sat",
+    "CS.din_phil4_sat",
+    "CS.lazy01_bad",
+    "CS.phase01_bad",
+    "CS.reorder_3_bad",
+    "CS.reorder_4_bad",
+    "CS.sync01_bad",
+    "CS.sync02_bad",
+    "CS.twostage_bad",
+    "inspect.qsort_mt",
+    "misc.ctrace-test",
+    "parsec.streamcluster3",
+    "radbench.bug2",
+    "radbench.bug3",
+    "radbench.bug4",
+    "radbench.bug6",
+    "splash2.barnes",
+    "splash2.lu",
+];
+
+#[test]
+fn differential_sleep_set_dfs_matches_plain_dfs_on_every_tractable_benchmark() {
+    // The oracle that proves the reduction safe: on every benchmark whose
+    // schedule space plain DFS can exhaust, DFS with sleep sets must find
+    // exactly the same set of bugs and exactly the same set of non-buggy
+    // terminal states, while exploring no more — and on several benchmarks
+    // strictly fewer — schedules.
+    let cap = 16_000u64;
+    let mut tractable = 0usize;
+    let mut strictly_reduced = Vec::new();
+    for name in TRACTABLE_DFS_BENCHMARKS {
+        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let program = spec.program();
+        let Some((plain_bugs, plain_fps, plain_n)) = dfs_exploration_sets(&program, false, cap)
+        else {
+            continue; // outgrew the cap; tractability floor below catches rot
+        };
+        let (por_bugs, por_fps, por_n) = dfs_exploration_sets(&program, true, cap)
+            .expect("reduced search larger than the plain one");
+        tractable += 1;
+        assert_eq!(plain_bugs, por_bugs, "{name}: bug sets differ");
+        assert_eq!(
+            plain_fps, por_fps,
+            "{name}: non-buggy terminal-state fingerprints differ"
+        );
+        assert!(
+            por_n <= plain_n,
+            "{name}: reduction explored more schedules ({por_n} vs {plain_n})"
+        );
+        if por_n < plain_n {
+            strictly_reduced.push(*name);
+        }
+    }
+    assert!(
+        tractable >= 15,
+        "only {tractable} benchmarks stayed tractable; the suite lost coverage"
+    );
+    assert!(
+        strictly_reduced.len() >= 3,
+        "sleep sets reduced only {strictly_reduced:?}; expected at least 3 benchmarks"
+    );
+}
+
+#[test]
+fn por_parallel_iterative_bounding_is_bit_identical_to_the_serial_driver() {
+    // With pruning enabled, `parallel_iterative_bounding` must still produce
+    // the exact serial statistics — digests, sleep counters, bounds and
+    // budget flags — at 1, 2 and 8 workers (plus any worker count injected
+    // by CI through SCT_TEST_WORKERS).
+    let mut worker_counts = vec![1usize, 2, 8];
+    if let Some(extra) = std::env::var("SCT_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        worker_counts.push(extra.max(1));
+    }
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for schedule_limit in [7u64, 2_000] {
+            let limits = ExploreLimits::with_schedule_limit(schedule_limit).with_por(true);
+            for kind in [BoundKind::Preemption, BoundKind::Delay] {
+                let serial = iterative_bounding(&program, &config, kind, &limits);
+                for &workers in &worker_counts {
+                    let parallel = sct::core::parallel_iterative_bounding(
+                        &program, &config, kind, &limits, workers,
+                    );
+                    assert_eq!(
+                        serial, parallel,
+                        "{name}: {kind:?} with {workers} workers at limit {schedule_limit}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
+    // End-to-end through the harness: `--por` must not change which
+    // techniques find the bug, and the systematic techniques must explore no
+    // more schedules than without the reduction.
+    let base = HarnessConfig {
+        schedule_limit: 2_000,
+        race_runs: 5,
+        seed: 7,
+        use_race_phase: false,
+        include_pct: false,
+        workers: 2,
+        por: false,
+    };
+    let por_cfg = HarnessConfig {
+        por: true,
+        ..base.clone()
+    };
+    for name in ["CS.reorder_3_bad", "misc.ctrace-test"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let plain = sct::harness::pipeline::run_benchmark(&spec, &base);
+        let por = sct::harness::pipeline::run_benchmark(&spec, &por_cfg);
+        for label in ["IPB", "IDB", "DFS", "Rand", "MapleAlg"] {
+            assert_eq!(
+                plain.found_by(label),
+                por.found_by(label),
+                "{name}: {label} changed its verdict under POR"
+            );
+        }
+        let plain_dfs = plain.technique("DFS").unwrap();
+        let por_dfs = por.technique("DFS").unwrap();
+        assert!(
+            por_dfs.schedules <= plain_dfs.schedules,
+            "{name}: POR DFS explored more ({} vs {})",
+            por_dfs.schedules,
+            plain_dfs.schedules
+        );
+        assert!(
+            por_dfs.slept > 0,
+            "{name}: the reduction never put a thread to sleep"
+        );
+        // Randomised techniques are untouched by the toggle.
+        assert_eq!(plain.technique("Rand"), por.technique("Rand"), "{name}");
+    }
 }
