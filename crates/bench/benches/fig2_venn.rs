@@ -19,6 +19,7 @@ fn bench_fig2(c: &mut Criterion) {
         include_pct: false,
         workers: 2,
         por: false,
+        cache: false,
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {

@@ -37,6 +37,7 @@ fn bench_table2(c: &mut Criterion) {
         include_pct: false,
         workers: 2,
         por: false,
+        cache: false,
     };
     let results = sct_harness::run_study(&config, Some("splash2"));
     group.bench_function("derive_table2_counters", |b| {

@@ -199,6 +199,43 @@ impl BoundedDfs {
     pub fn bound(&self) -> u32 {
         self.bound
     }
+
+    /// Rewind the replay cursor to the root without backtracking, so the next
+    /// [`Scheduler::choose`] calls re-issue the whole recorded stack from the
+    /// top. Used by the cached exploration driver
+    /// ([`crate::cache::run_begun_schedule`]) when a cache walk ends at a
+    /// miss: the walk already consumed part of the replay, and the real
+    /// execution must restart the program — and therefore the replay — from
+    /// step zero. The sleep/redundant state accumulated by the walk is
+    /// deliberately preserved: replaying a decision never re-runs its
+    /// frontier bookkeeping.
+    pub fn rewind_replay(&mut self) {
+        self.pos = 0;
+        self.used = 0;
+    }
+
+    /// Complete the current execution without an outcome: the schedule was
+    /// served from the schedule cache, so there is no [`ExecutionOutcome`] to
+    /// hand to [`Scheduler::end_execution`]. Equivalent to it in effect.
+    pub fn finish_cached_execution(&mut self) {
+        self.stack.truncate(self.pos);
+    }
+}
+
+/// The runtime hands schedulers `pending` summaries index-parallel to
+/// `enabled`; the sleep-set machinery relies on that pairing, so check it in
+/// debug builds wherever a point enters the search.
+fn debug_assert_index_parallel(point: &SchedulingPoint) {
+    debug_assert!(
+        point.pending.len() == point.enabled.len()
+            && point
+                .enabled
+                .iter()
+                .zip(point.pending.iter())
+                .all(|(t, p)| p.thread == *t),
+        "pending summaries not index-parallel to enabled at step {}",
+        point.step_index
+    );
 }
 
 impl Scheduler for BoundedDfs {
@@ -251,6 +288,7 @@ impl Scheduler for BoundedDfs {
     }
 
     fn choose(&mut self, point: &SchedulingPoint) -> ThreadId {
+        debug_assert_index_parallel(point);
         if self.pos < self.stack.len() {
             // Replay the recorded prefix.
             let cp = &mut self.stack[self.pos];
@@ -341,14 +379,13 @@ impl Scheduler for BoundedDfs {
                 alternatives.push((t, cost));
             }
         }
-        // The summary of the chosen op is only needed by the reduction;
-        // keep the POR-off hot path free of the scan.
+        // The summary of the chosen op is only needed by the reduction; keep
+        // the POR-off hot path free of the scan. Looked up by thread id, the
+        // same way the replay path refreshes it, so the two can never diverge
+        // even if `pending` and `enabled` ever fell out of step (which the
+        // index-parallel assertion above rules out in debug builds).
         let chosen_op = if self.sleep_sets {
-            point
-                .enabled
-                .iter()
-                .position(|&t| t == default)
-                .map(|i| point.pending[i])
+            point.pending.iter().find(|p| p.thread == default).copied()
         } else {
             None
         };
@@ -378,6 +415,10 @@ impl Scheduler for BoundedDfs {
 
     fn is_exhaustive(&self) -> bool {
         self.complete
+    }
+
+    fn can_exhaust(&self) -> bool {
+        true
     }
 
     fn sleep_counters(&self) -> (u64, u64) {

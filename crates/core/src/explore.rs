@@ -2,6 +2,7 @@
 //! terminal-schedule limit and gather Table-3-style statistics.
 
 use crate::bounds::BoundKind;
+use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun};
 use crate::dfs::BoundedDfs;
 use crate::maple::MapleLikeScheduler;
 use crate::pct::PctScheduler;
@@ -21,6 +22,17 @@ pub struct ExploreLimits {
     /// Enable sleep-set partial-order reduction in the systematic searches
     /// (DFS, IPB, IDB). Randomised techniques ignore the flag.
     pub por: bool,
+    /// Enable the schedule cache in iterative bounding (IPB, IDB): bound
+    /// level *b + 1* serves every schedule already explored at a level ≤ *b*
+    /// from a decision-prefix memo instead of re-executing it (see
+    /// [`crate::cache`]). Statistics are unchanged except for the
+    /// `executions` / `cache_hits` / `cache_bytes` counters. Other
+    /// techniques ignore the flag (plain DFS is a single level, so there is
+    /// no covered interior to skip).
+    pub cache: bool,
+    /// Memory cap for the schedule cache (estimated bytes); once reached the
+    /// cache stops growing and misses execute for real.
+    pub cache_max_bytes: u64,
 }
 
 impl Default for ExploreLimits {
@@ -29,6 +41,8 @@ impl Default for ExploreLimits {
             schedule_limit: 10_000,
             max_bound: 64,
             por: false,
+            cache: false,
+            cache_max_bytes: cache::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -46,6 +60,12 @@ impl ExploreLimits {
     /// (or off).
     pub fn with_por(self, por: bool) -> Self {
         ExploreLimits { por, ..self }
+    }
+
+    /// The same limits with the iterative-bounding schedule cache switched
+    /// on (or off).
+    pub fn with_cache(self, cache: bool) -> Self {
+        ExploreLimits { cache, ..self }
     }
 }
 
@@ -123,6 +143,7 @@ pub fn explore_with(
         exec.reset();
         let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
         scheduler.end_execution(&outcome);
+        stats.executions += 1;
         if scheduler.current_execution_redundant() {
             // A sleep-blocked completion: every state it visited is covered
             // by another explored schedule, so it is not a new schedule.
@@ -130,8 +151,44 @@ pub fn explore_with(
         }
         stats.record(&outcome);
     }
-    stats.complete = scheduler.is_exhaustive();
-    stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit;
+    let mut complete = scheduler.is_exhaustive();
+    if !complete && stats.schedules >= limits.schedule_limit && scheduler.can_exhaust() {
+        // The budget filled on the very last schedule, so the loop never made
+        // the `begin_execution` call from which a systematic scheduler learns
+        // its stack is empty. Probe: if nothing was left to explore the
+        // search is complete, not truncated. A probe that *does* find more
+        // work prepares an execution that is never run, which is harmless —
+        // the scheduler is dropped when this function returns. Under
+        // sleep-set reduction the remaining work may consist solely of
+        // *redundant* completions, which would never have counted either; a
+        // search is only genuinely truncated when a countable schedule
+        // remains, so drain redundant runs before concluding — but never
+        // more than the schedule limit again, so the post-limit cost stays
+        // bounded (an unresolved drain conservatively reports truncation).
+        let mut drain_budget = limits.schedule_limit;
+        loop {
+            if !scheduler.begin_execution() {
+                complete = scheduler.is_exhaustive();
+                break;
+            }
+            if !limits.por || drain_budget == 0 {
+                break;
+            }
+            drain_budget -= 1;
+            exec.reset();
+            let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
+            scheduler.end_execution(&outcome);
+            stats.executions += 1;
+            if !scheduler.current_execution_redundant() {
+                break;
+            }
+        }
+    }
+    stats.complete = complete;
+    // Only flag the limit when the scheduler was not exhaustive: a search
+    // that covers its whole space at exactly the limit is complete, not cut
+    // short, and reporting both would make the table rows ambiguous.
+    stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit && !stats.complete;
     let (slept, pruned_by_sleep) = scheduler.sleep_counters();
     stats.slept = slept;
     stats.pruned_by_sleep = pruned_by_sleep;
@@ -159,12 +216,18 @@ pub fn bounded_dfs(
 /// Iterative schedule bounding (§2, "Iterative schedule bounding"): explore
 /// all schedules with bound 0, then bound 1, and so on, until a bug is found
 /// (the current bound is still completed), the schedule limit is reached, or
-/// the whole schedule space has been covered.
+/// the whole schedule space has been covered. A run that climbs through
+/// every bound up to `max_bound` without reaching any of those outcomes is
+/// reported as `bound_exhausted` — explicitly distinct from both a truncated
+/// and a completed search.
 ///
 /// Each iteration restarts the bounded DFS from scratch, so schedules with a
-/// cost below the current bound are re-explored; the `new_schedules_at_final_bound`
+/// cost below the current bound are re-visited; the `new_schedules_at_final_bound`
 /// statistic counts only the schedules whose cost equals the final bound,
-/// matching the "# new schedules" column of Table 3.
+/// matching the "# new schedules" column of Table 3. With `limits.cache` the
+/// re-visited interior is served from a decision-prefix memo instead of
+/// being re-executed (see [`crate::cache`]); the statistics are identical
+/// either way, except that `executions` shrinks by `cache_hits`.
 pub fn iterative_bounding(
     program: &Program,
     config: &ExecConfig,
@@ -178,29 +241,37 @@ pub fn iterative_bounding(
     };
     let mut agg = ExplorationStats::new(label);
     let mut exec = Execution::new_shared(program, config);
+    let mut cache = limits
+        .cache
+        .then(|| ScheduleCache::new(limits.cache_max_bytes));
+    let mut stopped = false;
     for bound in 0..=limits.max_bound {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut new_at_bound = 0u64;
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
-            exec.reset();
-            let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
-            scheduler.end_execution(&outcome);
+            let handle = match cache.as_mut() {
+                Some(c) => CacheHandle::Local(c),
+                None => CacheHandle::Off,
+            };
+            let (run, _) = cache::run_begun_schedule(&mut exec, &mut scheduler, handle, false);
+            if matches!(run, ScheduleRun::Executed(_)) {
+                agg.executions += 1;
+            }
             if scheduler.current_execution_redundant() {
                 continue;
             }
-            let cost = match kind {
-                BoundKind::Preemption => outcome.preemption_count(),
-                BoundKind::Delay => outcome.delay_count(),
-                BoundKind::None => 0,
-            };
+            let cost = run.cost(kind);
             // Iteration `bound` only *counts* schedules whose cost is exactly
             // `bound`: schedules with a smaller cost were already explored in
-            // an earlier iteration (the bounded DFS still has to execute them
-            // to reach the new ones, but they are neither re-counted nor
+            // an earlier iteration (the bounded DFS still has to traverse
+            // them to reach the new ones, but they are neither re-counted nor
             // re-checked, matching §2's description of iterative bounding).
             if cost == bound || bound == 0 {
                 new_at_bound += 1;
-                agg.record(&outcome);
+                match &run {
+                    ScheduleRun::Executed(outcome) => agg.record(outcome),
+                    ScheduleRun::Served(digest) => digest.record_into(&mut agg),
+                }
             }
         }
         let (slept, pruned_by_sleep) = scheduler.sleep_counters();
@@ -214,22 +285,34 @@ pub fn iterative_bounding(
         let finished_bound = scheduler.is_complete();
         if agg.schedules >= limits.schedule_limit && !finished_bound {
             agg.hit_schedule_limit = true;
+            stopped = true;
             break;
         }
         if agg.found_bug() {
             // The paper completes the bound at which the bug was found (to
             // enable the worst-case analysis of Figure 4) and then stops.
+            stopped = true;
             break;
         }
         if finished_bound && !scheduler.was_pruned() {
             // Nothing was pruned: every terminal schedule has been explored.
             agg.complete = true;
+            stopped = true;
             break;
         }
         if agg.schedules >= limits.schedule_limit {
             agg.hit_schedule_limit = true;
+            stopped = true;
             break;
         }
+    }
+    // Falling out of the bound loop means every level up to `max_bound` ran
+    // without a bug, without covering the space and without exhausting the
+    // budget: the search gave up on bounds, not on schedules.
+    agg.bound_exhausted = !stopped;
+    if let Some(c) = &cache {
+        agg.cache_hits = c.hits();
+        agg.cache_bytes = c.bytes();
     }
     agg
 }
@@ -419,6 +502,193 @@ mod tests {
         assert!(stats.complete);
         assert!(!stats.found_bug());
         assert_eq!(stats.schedules, 1);
+    }
+
+    /// The statistics with the execution/cache counters cleared, for
+    /// comparing a cached against an uncached run (those counters are the
+    /// only fields the cache is *supposed* to change).
+    fn sans_cache_counters(mut stats: ExplorationStats) -> ExplorationStats {
+        stats.executions = 0;
+        stats.cache_hits = 0;
+        stats.cache_bytes = 0;
+        stats
+    }
+
+    #[test]
+    fn cached_iterative_bounding_matches_uncached_with_fewer_executions() {
+        for prog in [figure1(), figure1_adversarial()] {
+            for kind in [BoundKind::Preemption, BoundKind::Delay] {
+                let uncached = iterative_bounding(&prog, &config(), kind, &limits());
+                let cached = iterative_bounding(&prog, &config(), kind, &limits().with_cache(true));
+                assert_eq!(
+                    sans_cache_counters(uncached.clone()),
+                    sans_cache_counters(cached.clone()),
+                    "{kind:?}: caching changed the exploration statistics"
+                );
+                assert!(uncached.cache_hits == 0 && uncached.cache_bytes == 0);
+                assert!(cached.cache_hits > 0, "{kind:?}: interior never hit");
+                assert!(cached.cache_bytes > 0);
+                assert_eq!(
+                    cached.executions + cached.cache_hits,
+                    uncached.executions,
+                    "{kind:?}: every skipped execution must be a cache hit"
+                );
+                assert!(
+                    cached.executions < uncached.executions,
+                    "{kind:?}: caching saved nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_iterative_bounding_composes_with_sleep_sets() {
+        let prog = figure1();
+        for kind in [BoundKind::Preemption, BoundKind::Delay] {
+            let uncached = iterative_bounding(&prog, &config(), kind, &limits().with_por(true));
+            let cached = iterative_bounding(
+                &prog,
+                &config(),
+                kind,
+                &limits().with_por(true).with_cache(true),
+            );
+            assert_eq!(
+                sans_cache_counters(uncached.clone()),
+                sans_cache_counters(cached),
+                "{kind:?}: caching changed the POR exploration statistics"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_iterative_bounding_respects_budget_truncation() {
+        let prog = figure1();
+        for limit in [1u64, 2, 3, 5, 8] {
+            let lim = ExploreLimits::with_schedule_limit(limit);
+            let uncached = iterative_bounding(&prog, &config(), BoundKind::Delay, &lim);
+            let cached =
+                iterative_bounding(&prog, &config(), BoundKind::Delay, &lim.with_cache(true));
+            assert_eq!(
+                sans_cache_counters(uncached),
+                sans_cache_counters(cached),
+                "limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausting_the_space_at_exactly_the_limit_is_complete_not_truncated() {
+        // First learn the exact size of figure1's unbounded DFS space, then
+        // re-run with the limit set to precisely that size: the search is
+        // complete, and must not also claim it was cut short.
+        let full = run_technique(&figure1(), &config(), Technique::Dfs, &limits());
+        assert!(full.complete && !full.hit_schedule_limit);
+        let n = full.schedules;
+
+        let exact = run_technique(
+            &figure1(),
+            &config(),
+            Technique::Dfs,
+            &ExploreLimits::with_schedule_limit(n),
+        );
+        assert_eq!(exact.schedules, n);
+        assert!(exact.complete, "space exhausted at exactly the limit");
+        assert!(
+            !exact.hit_schedule_limit,
+            "a complete search must not be reported as truncated"
+        );
+
+        let truncated = run_technique(
+            &figure1(),
+            &config(),
+            Technique::Dfs,
+            &ExploreLimits::with_schedule_limit(n - 1),
+        );
+        assert!(!truncated.complete);
+        assert!(truncated.hit_schedule_limit);
+    }
+
+    #[test]
+    fn por_search_exhausted_at_exactly_the_limit_is_complete() {
+        // Sleep-set reduction can leave *redundant* (uncounted) completions
+        // at the tail of the backtrack order. A budget that fills on the
+        // last counted schedule must still report completeness: the probe
+        // drains trailing redundant runs instead of mistaking them for
+        // remaining countable work.
+        for prog in [figure1(), figure1_adversarial()] {
+            let por = limits().with_por(true);
+            let full = run_technique(&prog, &config(), Technique::Dfs, &por);
+            assert!(full.complete && !full.hit_schedule_limit);
+            let n = full.schedules;
+
+            let exact = run_technique(
+                &prog,
+                &config(),
+                Technique::Dfs,
+                &ExploreLimits::with_schedule_limit(n).with_por(true),
+            );
+            assert_eq!(exact.schedules, n);
+            assert!(
+                exact.complete,
+                "POR space exhausted at exactly the limit must be complete"
+            );
+            assert!(!exact.hit_schedule_limit);
+            // The drain runs any trailing redundant completions, so the
+            // execution count matches the unconstrained run exactly.
+            assert_eq!(exact.executions, full.executions);
+        }
+    }
+
+    #[test]
+    fn non_exhaustible_schedulers_are_never_probed_at_the_limit() {
+        // Rand/PCT/MapleAlg can never prove their space covered, so probing
+        // them at the limit would only burn (and then discard) executions —
+        // and make the execution count depend on how a budget was sharded.
+        // Their executions must remain an exact function of the schedules
+        // they ran, POR flag or not.
+        for por in [false, true] {
+            for technique in [
+                Technique::Random { seed: 3 },
+                Technique::Pct { depth: 2, seed: 3 },
+                Technique::MapleLike {
+                    profiling_runs: 2,
+                    seed: 3,
+                },
+            ] {
+                let stats = run_technique(
+                    &figure1(),
+                    &config(),
+                    technique,
+                    &ExploreLimits::with_schedule_limit(3).with_por(por),
+                );
+                assert_eq!(
+                    stats.executions, stats.schedules,
+                    "{technique:?} por={por}: probe executed discarded work"
+                );
+                assert!(!stats.complete);
+            }
+        }
+    }
+
+    #[test]
+    fn running_out_of_bounds_is_reported_explicitly() {
+        // figure1 needs bound 1 for its bug; capping max_bound at 0 makes
+        // iterative bounding walk every level (just the one) and give up:
+        // not complete, not truncated — bound-exhausted.
+        let lim = ExploreLimits {
+            max_bound: 0,
+            ..limits()
+        };
+        let stats = iterative_bounding(&figure1(), &config(), BoundKind::Delay, &lim);
+        assert!(!stats.found_bug());
+        assert!(!stats.complete);
+        assert!(!stats.hit_schedule_limit);
+        assert!(stats.bound_exhausted, "gave up on bounds, and must say so");
+        assert_eq!(stats.final_bound, Some(0));
+
+        // With enough bounds the flag stays off in every stopping case.
+        let found = iterative_bounding(&figure1(), &config(), BoundKind::Delay, &limits());
+        assert!(found.found_bug() && !found.bound_exhausted);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod bounds;
+pub mod cache;
 pub mod dfs;
 pub mod explore;
 pub mod maple;
@@ -61,6 +62,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
+pub use cache::{CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
 pub use dfs::BoundedDfs;
 pub use explore::{explore_with, iterative_bounding, ExploreLimits, Technique};
 pub use maple::MapleLikeScheduler;
@@ -76,6 +78,7 @@ pub use stats::ExplorationStats;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
+    pub use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
     pub use crate::dfs::BoundedDfs;
     pub use crate::explore::{self, explore_with, iterative_bounding, ExploreLimits, Technique};
     pub use crate::maple::MapleLikeScheduler;

@@ -19,19 +19,28 @@
 //!   result is schedule-for-schedule identical to
 //!   [`explore::iterative_bounding`]. Bounds beyond the serial stopping point
 //!   are cancelled through a stop flag (their speculative work is discarded).
+//!   With the schedule cache on, level workers share one
+//!   [`ScheduleCache`] opportunistically (a pure memo of the deterministic
+//!   program, so sharing can only skip executions, never change a result)
+//!   while each level also ships visit-order records; the fold replays them
+//!   through a [`CacheReplay`] mirror in bound order, so the reported
+//!   `executions` / `cache_hits` / `cache_bytes` counters are the serial
+//!   driver's values bit for bit.
 //! * **DFS** is a single backtracking search over one schedule tree and runs
 //!   serially; study-level parallelism for DFS comes from fanning out
 //!   benchmarks × techniques in the harness instead.
 
 use crate::bounds::BoundKind;
+use crate::cache::{self, CacheHandle, CacheReplay, ScheduleCache, ScheduleRun};
 use crate::dfs::BoundedDfs;
 use crate::explore::{self, ExploreLimits, Technique};
 use crate::scheduler::Scheduler;
 use crate::stats::ExplorationStats;
 use sct_ir::Program;
-use sct_runtime::{Bug, ExecConfig, Execution, ExecutionOutcome, NoopObserver};
+use sct_runtime::{Bug, ExecConfig, Execution, ThreadId};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
 use std::thread;
 
 /// Number of workers to use when the caller does not specify one.
@@ -246,22 +255,40 @@ struct ScheduleDigest {
     /// schedule rather than the level's final values.
     slept: u64,
     pruned_by_sleep: u64,
+    /// Cumulative count of real program executions this level's worker had
+    /// performed when the digest was taken (same snapshot discipline as the
+    /// sleep counters). Only meaningful without caching: under a shared
+    /// cache the worker's execution count depends on scheduling, so the fold
+    /// recomputes the serial value from the visit records instead.
+    executions: u64,
 }
 
 impl ScheduleDigest {
-    fn of(outcome: &ExecutionOutcome, (slept, pruned_by_sleep): (u64, u64)) -> Self {
-        let buggy = outcome.is_buggy();
+    fn of_run(run: &ScheduleRun, (slept, pruned_by_sleep): (u64, u64), executions: u64) -> Self {
+        let d = run.digest();
+        let buggy = d.is_buggy();
         ScheduleDigest {
             buggy,
-            diverged: outcome.diverged,
-            threads_created: outcome.threads_created,
-            max_enabled: outcome.max_enabled,
-            scheduling_points: outcome.scheduling_points,
-            bug: if buggy { outcome.bug.clone() } else { None },
+            diverged: d.diverged,
+            threads_created: d.threads_created,
+            max_enabled: d.max_enabled,
+            scheduling_points: d.scheduling_points,
+            bug: if buggy { d.bug } else { None },
             slept,
             pruned_by_sleep,
+            executions,
         }
     }
+}
+
+/// One schedule visited by a bound level, in visit order: the decision path
+/// and per-step enabled counts the fold needs to replay the serial cache
+/// deterministically, plus the counted digest when the iteration rules count
+/// the schedule at this level. Only shipped when caching is on.
+struct VisitRecord {
+    schedule: Box<[ThreadId]>,
+    enabled_counts: Box<[u32]>,
+    counted: Option<ScheduleDigest>,
 }
 
 /// Feed a digest through the same accounting as the serial driver
@@ -278,10 +305,15 @@ fn record_digest(agg: &mut ExplorationStats, d: &ScheduleDigest) {
 }
 
 /// One bound level explored to completion (or its budget cap / the stop
-/// flag), with the digests of the schedules that are *new* at this bound.
+/// flag), with the digests of the schedules that are *new* at this bound —
+/// and, when caching is on, the visit records of *every* schedule the level
+/// walked, so the fold can replay the serial cache.
 struct BoundRun {
     bound: u32,
     digests: Vec<ScheduleDigest>,
+    /// Visit-order records of all completed schedules (counted digests
+    /// embedded), shipped only when the schedule cache is enabled.
+    visits: Option<Vec<VisitRecord>>,
     /// Whether the bounded DFS exhausted the bound (never true when aborted).
     complete: bool,
     pruned: bool,
@@ -289,6 +321,9 @@ struct BoundRun {
     /// level in full; truncated folds use the per-digest snapshots).
     slept: u64,
     pruned_by_sleep: u64,
+    /// Real program executions the level performed (same caveat as
+    /// [`ScheduleDigest::executions`]: only meaningful without caching).
+    executions: u64,
 }
 
 fn run_bound(
@@ -298,65 +333,125 @@ fn run_bound(
     bound: u32,
     limits: &ExploreLimits,
     stop: &AtomicBool,
+    shared_cache: Option<&RwLock<ScheduleCache>>,
 ) -> BoundRun {
     let cap = limits.schedule_limit;
     let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
     let mut exec = Execution::new_shared(program, config);
     let mut digests: Vec<ScheduleDigest> = Vec::new();
+    let mut visits: Option<Vec<VisitRecord>> = shared_cache.map(|_| Vec::new());
+    let mut counted = 0u64;
+    let mut executions = 0u64;
     let mut aborted = false;
-    while (digests.len() as u64) < cap && scheduler.begin_execution() {
+    while counted < cap && scheduler.begin_execution() {
         if stop.load(Ordering::Relaxed) {
             // A lower bound already satisfied the serial stopping rule; this
             // speculative level will be discarded, so bail out cheaply.
             aborted = true;
             break;
         }
-        exec.reset();
-        let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
-        scheduler.end_execution(&outcome);
-        if scheduler.current_execution_redundant() {
-            continue;
-        }
-        let cost = match kind {
-            BoundKind::Preemption => outcome.preemption_count(),
-            BoundKind::Delay => outcome.delay_count(),
-            BoundKind::None => 0,
+        let handle = match shared_cache {
+            Some(mutex) => CacheHandle::Shared(mutex),
+            None => CacheHandle::Off,
         };
-        if cost == bound || bound == 0 {
-            digests.push(ScheduleDigest::of(&outcome, scheduler.sleep_counters()));
+        let (run, trace) =
+            cache::run_begun_schedule(&mut exec, &mut scheduler, handle, visits.is_some());
+        if matches!(run, ScheduleRun::Executed(_)) {
+            executions += 1;
+        }
+        let counted_digest = if scheduler.current_execution_redundant() {
+            None
+        } else if run.cost(kind) == bound || bound == 0 {
+            counted += 1;
+            Some(ScheduleDigest::of_run(
+                &run,
+                scheduler.sleep_counters(),
+                executions,
+            ))
+        } else {
+            None
+        };
+        match (visits.as_mut(), counted_digest) {
+            (Some(records), counted_digest) => {
+                let trace = trace.expect("visit trace requested but not returned");
+                records.push(VisitRecord {
+                    schedule: trace.schedule.into_boxed_slice(),
+                    enabled_counts: trace.enabled_counts.into_boxed_slice(),
+                    counted: counted_digest,
+                });
+            }
+            (None, Some(digest)) => digests.push(digest),
+            (None, None) => {}
         }
     }
     let (slept, pruned_by_sleep) = scheduler.sleep_counters();
     BoundRun {
         bound,
         digests,
+        visits,
         complete: scheduler.is_complete() && !aborted,
         pruned: scheduler.was_pruned(),
         slept,
         pruned_by_sleep,
+        executions,
     }
 }
 
 /// Fold one bound level into the aggregate, replaying the serial driver's
 /// budget truncation and stopping rules. Returns `true` when exploration is
 /// finished (bug found / budget exhausted / space covered).
-fn fold_bound(agg: &mut ExplorationStats, run: &BoundRun, limits: &ExploreLimits) -> bool {
+///
+/// With caching (`replay` present, visit records shipped) the fold walks the
+/// level's visits in order through the [`CacheReplay`] mirror, reproducing
+/// the hit/insert/byte decisions — and therefore the `executions`,
+/// `cache_hits` and `cache_bytes` statistics — of the serial driver exactly,
+/// regardless of how the speculative level workers interleaved their use of
+/// the shared cache.
+fn fold_bound(
+    agg: &mut ExplorationStats,
+    run: &BoundRun,
+    limits: &ExploreLimits,
+    replay: Option<&mut CacheReplay>,
+) -> bool {
     let mut new_at_bound = 0u64;
     let mut truncated = false;
     let mut level_slept = 0u64;
     let mut level_pruned_by_sleep = 0u64;
-    for d in &run.digests {
-        // The serial driver checks the budget before every execution; the
-        // check's outcome only changes when a *counted* schedule lands, so
-        // checking before each digest reproduces its truncation point.
-        if agg.schedules >= limits.schedule_limit {
-            truncated = true;
-            break;
+    let mut level_executions = 0u64;
+    let cached = replay.is_some() && run.visits.is_some();
+    if let (Some(replay), Some(visits)) = (replay, run.visits.as_ref()) {
+        for record in visits {
+            // The serial driver checks the budget before every schedule; the
+            // check's outcome only changes when a *counted* schedule lands,
+            // so checking before each visit reproduces its truncation point.
+            if agg.schedules >= limits.schedule_limit {
+                truncated = true;
+                break;
+            }
+            let hit = replay.apply(&record.schedule, &record.enabled_counts);
+            if !hit {
+                level_executions += 1;
+            }
+            if let Some(d) = &record.counted {
+                record_digest(agg, d);
+                new_at_bound += 1;
+                level_slept = d.slept;
+                level_pruned_by_sleep = d.pruned_by_sleep;
+            }
         }
-        record_digest(agg, d);
-        new_at_bound += 1;
-        level_slept = d.slept;
-        level_pruned_by_sleep = d.pruned_by_sleep;
+    } else {
+        for d in &run.digests {
+            // Same budget rule as above, over the counted digests only.
+            if agg.schedules >= limits.schedule_limit {
+                truncated = true;
+                break;
+            }
+            record_digest(agg, d);
+            new_at_bound += 1;
+            level_slept = d.slept;
+            level_pruned_by_sleep = d.pruned_by_sleep;
+            level_executions = d.executions;
+        }
     }
     // The serial `BoundedDfs` only learns it exhausted the bound from the
     // `begin_execution` call *after* the last execution; once the budget is
@@ -367,12 +462,18 @@ fn fold_bound(agg: &mut ExplorationStats, run: &BoundRun, limits: &ExploreLimits
     // either because the budget filled — right after the counted schedule
     // that filled it, so the counters are that schedule's snapshot — or
     // because the level's DFS was exhausted, with the level's final counters.
+    // The execution count follows the same rule, except in cache mode where
+    // the per-visit replay above already produced the exact serial value.
     if !truncated && agg.schedules < limits.schedule_limit {
         level_slept = run.slept;
         level_pruned_by_sleep = run.pruned_by_sleep;
+        if !cached {
+            level_executions = run.executions;
+        }
     }
     agg.slept += level_slept;
     agg.pruned_by_sleep += level_pruned_by_sleep;
+    agg.executions += level_executions;
 
     agg.final_bound = Some(run.bound);
     agg.new_schedules_at_final_bound = new_at_bound;
@@ -428,6 +529,17 @@ pub fn parallel_iterative_bounding(
     }
     let mut agg = ExplorationStats::new(label);
     let stop = AtomicBool::new(false);
+    // With caching on, the level workers share one cache: lookups and
+    // insertions are transparent memo operations on a deterministic program,
+    // so sharing only changes how many executions are physically skipped —
+    // never a result. The *reported* cache statistics come from `replay`,
+    // which the fold drives in bound order to reproduce the serial values.
+    let shared_cache = limits
+        .cache
+        .then(|| RwLock::new(ScheduleCache::new(limits.cache_max_bytes)));
+    let mut replay = limits
+        .cache
+        .then(|| CacheReplay::new(limits.cache_max_bytes));
     let mut bound = 0u32;
     let mut done = false;
     while !done && bound <= limits.max_bound {
@@ -436,8 +548,13 @@ pub fn parallel_iterative_bounding(
             .min(limits.max_bound);
         thread::scope(|scope| {
             let stop = &stop;
+            let shared_cache = shared_cache.as_ref();
             let handles: Vec<_> = (bound..=wave_last)
-                .map(|b| scope.spawn(move || run_bound(program, config, kind, b, limits, stop)))
+                .map(|b| {
+                    scope.spawn(move || {
+                        run_bound(program, config, kind, b, limits, stop, shared_cache)
+                    })
+                })
                 .collect();
             // Join in bound order and fold incrementally, so the stop flag
             // cancels higher levels as soon as the serial rule fires.
@@ -446,7 +563,7 @@ pub fn parallel_iterative_bounding(
                 if done {
                     continue; // drain cancelled levels
                 }
-                done = fold_bound(&mut agg, &run, limits);
+                done = fold_bound(&mut agg, &run, limits, replay.as_mut());
                 if done {
                     stop.store(true, Ordering::Relaxed);
                 }
@@ -456,6 +573,13 @@ pub fn parallel_iterative_bounding(
             break;
         }
         bound = wave_last + 1;
+    }
+    // Same rule as the serial driver: running out of bound levels without
+    // stopping is an explicit "gave up on bounds" outcome.
+    agg.bound_exhausted = !done;
+    if let Some(replay) = &replay {
+        agg.cache_hits = replay.hits();
+        agg.cache_bytes = replay.bytes();
     }
     agg
 }
@@ -626,6 +750,64 @@ mod tests {
             let parallel =
                 parallel_iterative_bounding(&prog, &config(), BoundKind::Delay, &limits, 4);
             assert_eq!(serial, parallel, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_with_cache_matches_serial_exactly() {
+        // The whole stats struct — including the new executions / cache_hits
+        // / cache_bytes counters, whose parallel values come from the fold's
+        // deterministic cache replay — must equal the serial cached driver's
+        // at any worker count, with and without POR and budget truncation.
+        let prog = figure1();
+        for (limit, por) in [(10_000u64, false), (10_000, true), (3, false), (5, true)] {
+            let limits = ExploreLimits::with_schedule_limit(limit)
+                .with_por(por)
+                .with_cache(true);
+            for kind in [BoundKind::Delay, BoundKind::Preemption] {
+                let serial = explore::iterative_bounding(&prog, &config(), kind, &limits);
+                for workers in [2, 4, 8] {
+                    let parallel =
+                        parallel_iterative_bounding(&prog, &config(), kind, &limits, workers);
+                    assert_eq!(
+                        serial, parallel,
+                        "{kind:?} with {workers} workers at limit {limit}, por={por}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cached_run_reports_the_serial_cache_savings() {
+        let prog = figure1();
+        let limits = ExploreLimits::with_schedule_limit(10_000).with_cache(true);
+        let uncached = parallel_iterative_bounding(
+            &prog,
+            &config(),
+            BoundKind::Delay,
+            &ExploreLimits::with_schedule_limit(10_000),
+            4,
+        );
+        let cached = parallel_iterative_bounding(&prog, &config(), BoundKind::Delay, &limits, 4);
+        assert!(cached.cache_hits > 0);
+        assert_eq!(cached.executions + cached.cache_hits, uncached.executions);
+    }
+
+    #[test]
+    fn parallel_iterative_bounding_reports_bound_exhaustion() {
+        let prog = figure1();
+        let limits = ExploreLimits {
+            max_bound: 0,
+            ..ExploreLimits::with_schedule_limit(10_000)
+        };
+        let serial = explore::iterative_bounding(&prog, &config(), BoundKind::Delay, &limits);
+        assert!(serial.bound_exhausted);
+        for workers in [2, 4] {
+            let parallel =
+                parallel_iterative_bounding(&prog, &config(), BoundKind::Delay, &limits, workers);
+            assert_eq!(serial, parallel, "{workers} workers");
+            assert!(parallel.bound_exhausted);
         }
     }
 

@@ -37,6 +37,16 @@ pub trait Scheduler {
         false
     }
 
+    /// Whether this strategy is *capable* of exhausting its search space at
+    /// all (a capability, unlike the state query [`Scheduler::is_exhaustive`]).
+    /// The exploration driver only probes for completion-at-the-limit on
+    /// schedulers that can exhaust; randomised strategies return `false` and
+    /// are never probed, so their execution counts stay an exact function of
+    /// their schedule budget.
+    fn can_exhaust(&self) -> bool {
+        false
+    }
+
     /// Partial-order-reduction counters `(slept, pruned_by_sleep)`
     /// accumulated so far; `(0, 0)` for strategies without reduction. The
     /// exploration drivers copy these into

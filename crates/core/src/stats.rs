@@ -37,10 +37,28 @@ pub struct ExplorationStats {
     pub slept: u64,
     /// Number of in-budget alternatives sleep sets pruned from the search.
     pub pruned_by_sleep: u64,
+    /// Number of times the program was actually executed. Without schedule
+    /// caching this is `schedules` plus the uncounted runs (interior
+    /// re-executions of iterative bounding, sleep-redundant completions);
+    /// with caching it shrinks by exactly `cache_hits`.
+    pub executions: u64,
+    /// Number of schedules served entirely from the schedule cache, i.e.
+    /// without executing the program (0 when caching is off).
+    pub cache_hits: u64,
+    /// Estimated bytes held by the schedule cache when exploration stopped
+    /// (0 when caching is off).
+    pub cache_bytes: u64,
     /// Whether the technique exhausted its entire search space.
     pub complete: bool,
     /// Whether exploration stopped because the schedule limit was reached.
+    /// Not set when the search exhausted its space at exactly the limit —
+    /// `complete` wins.
     pub hit_schedule_limit: bool,
+    /// Whether iterative bounding ran every bound level up to its `max_bound`
+    /// without finding a bug, covering the space, or hitting the schedule
+    /// limit: the search *gave up on bounds*, distinguishing this row from
+    /// both a truncated and a completed one.
+    pub bound_exhausted: bool,
 }
 
 impl ExplorationStats {
@@ -61,8 +79,12 @@ impl ExplorationStats {
             diverged_schedules: 0,
             slept: 0,
             pruned_by_sleep: 0,
+            executions: 0,
+            cache_hits: 0,
+            cache_bytes: 0,
             complete: false,
             hit_schedule_limit: false,
+            bound_exhausted: false,
         }
     }
 
@@ -137,6 +159,9 @@ impl ExplorationStats {
         self.diverged_schedules += other.diverged_schedules;
         self.slept += other.slept;
         self.pruned_by_sleep += other.pruned_by_sleep;
+        self.executions += other.executions;
+        self.cache_hits += other.cache_hits;
+        self.cache_bytes += other.cache_bytes;
         match (self.final_bound, other.final_bound) {
             (Some(a), Some(b)) if a == b => {
                 self.new_schedules_at_final_bound += other.new_schedules_at_final_bound;
@@ -160,6 +185,7 @@ impl ExplorationStats {
         self.total_threads = self.total_threads.max(other.total_threads);
         self.complete = self.complete && other.complete;
         self.hit_schedule_limit = self.hit_schedule_limit || other.hit_schedule_limit;
+        self.bound_exhausted = self.bound_exhausted || other.bound_exhausted;
     }
 
     /// Whether at least one bug was found.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> [--schedules N] [--filter SUBSTR] [--seed N]
+//!           [--por] [--schedule-cache]
 //! ```
 //!
 //! `table1` is pure metadata and runs instantly; everything else runs the
@@ -42,6 +43,8 @@ fn main() {
                     .unwrap_or(config.seed)
             }
             "--filter" => filter = args.next(),
+            "--por" => config.por = true,
+            "--schedule-cache" => config.cache = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);

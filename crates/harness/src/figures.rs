@@ -191,6 +191,7 @@ mod tests {
             include_pct: false,
             workers: 2,
             por: false,
+            cache: false,
         };
         run_study(&config, Some("splash2"))
     }

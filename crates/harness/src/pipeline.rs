@@ -30,6 +30,13 @@ pub struct HarnessConfig {
     /// (DFS, IPB, IDB). Off by default because the paper's study ran without
     /// reduction; `sct-experiments --por` switches it on.
     pub por: bool,
+    /// Enable the schedule cache in iterative bounding (IPB, IDB): each
+    /// bound level serves the interior already covered at lower levels from
+    /// a decision-prefix memo instead of re-executing it. The study output
+    /// is identical either way (only the `executions` / `cache_hits` /
+    /// `cache_bytes` CSV columns change); `sct-experiments
+    /// --schedule-cache` switches it on.
+    pub cache: bool,
 }
 
 impl Default for HarnessConfig {
@@ -42,6 +49,7 @@ impl Default for HarnessConfig {
             include_pct: false,
             workers: default_workers(),
             por: false,
+            cache: false,
         }
     }
 }
@@ -117,6 +125,8 @@ pub struct StudyResults {
     /// Whether the systematic searches ran with sleep-set partial-order
     /// reduction.
     pub por: bool,
+    /// Whether iterative bounding ran with the schedule cache.
+    pub cache: bool,
 }
 
 /// The techniques a study run uses, in Table 3 column order.
@@ -162,7 +172,9 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
     } else {
         ExecConfig::all_visible()
     };
-    let limits = ExploreLimits::with_schedule_limit(config.schedule_limit).with_por(config.por);
+    let limits = ExploreLimits::with_schedule_limit(config.schedule_limit)
+        .with_por(config.por)
+        .with_cache(config.cache);
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
@@ -214,6 +226,7 @@ pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
         benchmarks,
         schedule_limit: config.schedule_limit,
         por: config.por,
+        cache: config.cache,
     }
 }
 
@@ -231,6 +244,7 @@ mod tests {
             include_pct: false,
             workers: 2,
             por: false,
+            cache: false,
         }
     }
 

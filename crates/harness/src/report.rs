@@ -130,6 +130,7 @@ mod tests {
             include_pct: false,
             workers: 2,
             por: false,
+            cache: false,
         };
         let results = run_study(&config, Some("splash2"));
         let md = experiments_markdown(&results);

@@ -105,6 +105,19 @@ fn opt_u32(v: Option<u32>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
 }
 
+/// The bound column of an iterative-bounding technique: the bound of the
+/// first bug when one was found, otherwise the final bound — prefixed with
+/// `>` when the search ran out of bound levels, so a row that gave up on
+/// bounds is distinguishable from one that stopped at that bound for any
+/// other reason.
+fn bound_cell(s: &sct_core::stats::ExplorationStats) -> String {
+    match (s.bound_of_first_bug, s.final_bound) {
+        (Some(b), _) => b.to_string(),
+        (None, Some(b)) if s.bound_exhausted => format!(">{b}"),
+        (None, b) => opt_u32(b),
+    }
+}
+
 /// Table 3: the full per-benchmark results. One line per benchmark with the
 /// per-technique columns of the paper (bound, schedules to first bug, total
 /// schedules, new schedules at the bound, buggy schedules for IPB/IDB;
@@ -114,10 +127,15 @@ pub fn table3(results: &StudyResults) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Table 3: Experimental results (schedule limit {}{}).",
+        "Table 3: Experimental results (schedule limit {}{}{}).",
         results.schedule_limit,
         if results.por {
             "; DFS/IPB/IDB with sleep-set partial-order reduction"
+        } else {
+            ""
+        },
+        if results.cache {
+            "; IPB/IDB with schedule caching"
         } else {
             ""
         }
@@ -150,12 +168,12 @@ pub fn table3(results: &StudyResults) -> String {
             b.threads(),
             b.max_enabled(),
             b.max_scheduling_points(),
-            ipb.map(|s| opt_u32(s.bound_of_first_bug.or(s.final_bound))).unwrap_or_default(),
+            ipb.map(bound_cell).unwrap_or_default(),
             ipb.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
             ipb.map(|s| s.schedules.to_string()).unwrap_or_default(),
             ipb.map(|s| s.new_schedules_at_final_bound.to_string()).unwrap_or_default(),
             ipb.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
-            idb.map(|s| opt_u32(s.bound_of_first_bug.or(s.final_bound))).unwrap_or_default(),
+            idb.map(bound_cell).unwrap_or_default(),
             idb.map(|s| opt_u64(s.schedules_to_first_bug)).unwrap_or_default(),
             idb.map(|s| s.schedules.to_string()).unwrap_or_default(),
             idb.map(|s| s.new_schedules_at_final_bound.to_string()).unwrap_or_default(),
@@ -177,13 +195,13 @@ pub fn table3_csv(results: &StudyResults) -> String {
     let mut out = String::from(
         "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
          bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,\
-         slept,pruned_by_sleep,complete,hit_limit\n",
+         slept,pruned_by_sleep,complete,hit_limit,bound_exhausted,executions,cache_hits,cache_bytes\n",
     );
     for b in &results.benchmarks {
         for t in &b.techniques {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 b.id,
                 b.name,
                 b.suite,
@@ -203,6 +221,10 @@ pub fn table3_csv(results: &StudyResults) -> String {
                 t.pruned_by_sleep,
                 t.complete,
                 t.hit_schedule_limit,
+                t.bound_exhausted,
+                t.executions,
+                t.cache_hits,
+                t.cache_bytes,
             );
         }
     }
@@ -223,6 +245,7 @@ mod tests {
             include_pct: false,
             workers: 2,
             por: false,
+            cache: false,
         };
         run_study(&config, Some("splash2"))
     }

@@ -152,6 +152,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         include_pct: false,
         workers: 2,
         por: false,
+        cache: false,
     };
     let mut results = run_study(&config, Some("splash2"));
     let more = run_study(&config, Some("CS.din_phil"));
@@ -395,6 +396,284 @@ fn por_parallel_iterative_bounding_is_bit_identical_to_the_serial_driver() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Schedule caching: the differential-testing harness.
+// ---------------------------------------------------------------------------
+
+/// The SCTBench benchmarks over which the cached-vs-uncached differential
+/// suite runs iterative bounding. A mix of single-level rows (bug at bound
+/// 0, where the cache has nothing to serve) and rows that climb several
+/// bound levels (where the covered interior dominates); all fast enough for
+/// a unit-test budget at a 1,000-schedule limit.
+const CACHE_DIFFERENTIAL_BENCHMARKS: &[&str] = &[
+    "CS.account_bad",
+    "CS.arithmetic_prog_bad",
+    "CS.bluetooth_driver_bad",
+    "CS.carter01_bad",
+    "CS.din_phil2_sat",
+    "CS.din_phil3_sat",
+    "CS.lazy01_bad",
+    "CS.reorder_3_bad",
+    "CS.reorder_4_bad",
+    "CS.sync01_bad",
+    "CS.sync02_bad",
+    "CS.twostage_bad",
+    "misc.ctrace-test",
+    "splash2.lu",
+];
+
+/// The exploration statistics with the execution/cache counters cleared —
+/// the only fields schedule caching is supposed to change.
+fn sans_cache_counters(mut stats: sct::core::ExplorationStats) -> sct::core::ExplorationStats {
+    stats.executions = 0;
+    stats.cache_hits = 0;
+    stats.cache_bytes = 0;
+    stats
+}
+
+#[test]
+fn differential_cached_iterative_bounding_matches_uncached_on_sctbench() {
+    // The oracle for the tentpole: on every suite benchmark, cached IPB/IDB
+    // must report the exact statistics of the uncached driver — bug, bound
+    // of first bug, schedule counts, budget/completeness flags — while
+    // performing fewer real executions wherever the search climbs past one
+    // bound level, and strictly fewer on at least three benchmarks per kind.
+    let lim = limits(1_000);
+    let cached_lim = lim.with_cache(true);
+    for kind in [BoundKind::Preemption, BoundKind::Delay] {
+        let mut strictly_reduced = Vec::new();
+        for name in CACHE_DIFFERENTIAL_BENCHMARKS {
+            let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown {name}"));
+            let program = spec.program();
+            let config = ExecConfig::all_visible();
+            let uncached = iterative_bounding(&program, &config, kind, &lim);
+            let cached = iterative_bounding(&program, &config, kind, &cached_lim);
+            assert_eq!(
+                sans_cache_counters(uncached.clone()),
+                sans_cache_counters(cached.clone()),
+                "{name}: {kind:?} statistics changed under caching"
+            );
+            assert_eq!(
+                cached.executions + cached.cache_hits,
+                uncached.executions,
+                "{name}: {kind:?} skipped executions must equal cache hits"
+            );
+            if cached.executions < uncached.executions {
+                strictly_reduced.push(*name);
+            }
+        }
+        assert!(
+            strictly_reduced.len() >= 3,
+            "{kind:?}: caching reduced executions only on {strictly_reduced:?}; expected ≥ 3"
+        );
+    }
+}
+
+/// Iterative bounding driven directly through the cache API, collecting the
+/// set of distinct bugs, the set of non-buggy terminal fingerprints of
+/// *counted* schedules, the number of real program executions and the bound
+/// of the first bug. Returns `None` when the run outgrows `cap` executions
+/// or diverges (intractable for a unit-test budget).
+#[allow(clippy::type_complexity)]
+fn bounding_exploration_sets(
+    program: &sct::ir::Program,
+    kind: BoundKind,
+    cached: bool,
+    max_bound: u32,
+    cap: u64,
+) -> Option<(
+    std::collections::BTreeSet<String>,
+    std::collections::BTreeSet<u64>,
+    u64,
+    Option<u32>,
+)> {
+    use sct::core::cache::{run_begun_schedule, CacheHandle, ScheduleCache, ScheduleRun};
+    use sct::runtime::Execution;
+    let config = ExecConfig::all_visible();
+    let mut exec = Execution::new_shared(program, &config);
+    let mut cache = cached.then(ScheduleCache::default);
+    let mut bugs = std::collections::BTreeSet::new();
+    let mut fingerprints = std::collections::BTreeSet::new();
+    let mut executions = 0u64;
+    let mut bound_of_first_bug = None;
+    for bound in 0..=max_bound {
+        let mut scheduler = BoundedDfs::new(kind.policy(), bound);
+        while scheduler.begin_execution() {
+            let handle = match cache.as_mut() {
+                Some(c) => CacheHandle::Local(c),
+                None => CacheHandle::Off,
+            };
+            let (run, _) = run_begun_schedule(&mut exec, &mut scheduler, handle, false);
+            if matches!(run, ScheduleRun::Executed(_)) {
+                executions += 1;
+                if executions > cap {
+                    return None;
+                }
+            }
+            if scheduler.current_execution_redundant() {
+                continue;
+            }
+            if run.cost(kind) != bound && bound != 0 {
+                continue;
+            }
+            let digest = run.digest();
+            if digest.diverged {
+                return None;
+            }
+            match &digest.bug {
+                Some(b) => {
+                    bugs.insert(format!("{b:?}"));
+                }
+                None => {
+                    fingerprints.insert(digest.fingerprint);
+                }
+            }
+        }
+        if !bugs.is_empty() {
+            // Same rule as the driver: complete the bound of the first bug,
+            // then stop.
+            if bound_of_first_bug.is_none() {
+                bound_of_first_bug = Some(bound);
+            }
+            break;
+        }
+        if scheduler.is_complete() && !scheduler.was_pruned() {
+            break;
+        }
+    }
+    Some((bugs, fingerprints, executions, bound_of_first_bug))
+}
+
+#[test]
+fn differential_cached_bounding_preserves_bugs_and_terminal_fingerprints() {
+    // Below the statistics: the cached search must see the *same worlds* —
+    // identical bug sets and identical non-buggy terminal-state fingerprints
+    // at every counted schedule — whether a schedule was executed or served
+    // from the memo.
+    let cap = 60_000u64;
+    let mut compared = 0usize;
+    let mut strictly_reduced = Vec::new();
+    for name in [
+        "CS.din_phil2_sat",
+        "CS.lazy01_bad",
+        "CS.reorder_3_bad",
+        "CS.sync01_bad",
+        "CS.twostage_bad",
+        "misc.ctrace-test",
+    ] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        for kind in [BoundKind::Preemption, BoundKind::Delay] {
+            let Some((bugs, fps, execs, first)) =
+                bounding_exploration_sets(&program, kind, false, 8, cap)
+            else {
+                continue;
+            };
+            let (cbugs, cfps, cexecs, cfirst) =
+                bounding_exploration_sets(&program, kind, true, 8, cap)
+                    .expect("cached run larger than uncached");
+            compared += 1;
+            assert_eq!(bugs, cbugs, "{name}: {kind:?} bug sets differ");
+            assert_eq!(fps, cfps, "{name}: {kind:?} fingerprints differ");
+            assert_eq!(first, cfirst, "{name}: {kind:?} bound of first bug differs");
+            assert!(cexecs <= execs, "{name}: {kind:?} cache added executions");
+            if cexecs < execs {
+                strictly_reduced.push((name, kind));
+            }
+        }
+    }
+    assert!(compared >= 6, "only {compared} runs stayed tractable");
+    assert!(
+        strictly_reduced.len() >= 3,
+        "cache reduced only {strictly_reduced:?}"
+    );
+}
+
+#[test]
+fn cached_parallel_iterative_bounding_is_bit_identical_to_the_serial_driver() {
+    // With caching on, `parallel_iterative_bounding` must reproduce the
+    // serial statistics exactly — including the executions / cache_hits /
+    // cache_bytes counters recomputed by the fold's deterministic cache
+    // replay — at 1, 2 and 8 workers (plus any count injected by CI through
+    // SCT_TEST_WORKERS), with and without POR and budget truncation.
+    let mut worker_counts = vec![1usize, 2, 8];
+    if let Some(extra) = std::env::var("SCT_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        worker_counts.push(extra.max(1));
+    }
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for (schedule_limit, por) in [(7u64, false), (2_000, false), (2_000, true)] {
+            let limits = ExploreLimits::with_schedule_limit(schedule_limit)
+                .with_por(por)
+                .with_cache(true);
+            for kind in [BoundKind::Preemption, BoundKind::Delay] {
+                let serial = iterative_bounding(&program, &config, kind, &limits);
+                for &workers in &worker_counts {
+                    let parallel = sct::core::parallel_iterative_bounding(
+                        &program, &config, kind, &limits, workers,
+                    );
+                    assert_eq!(
+                        serial, parallel,
+                        "{name}: {kind:?} with {workers} workers at limit {schedule_limit}, por={por}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
+    // End-to-end through the harness: `--schedule-cache` must change no
+    // verdict and no study row — only the execution/cache counters.
+    let base = HarnessConfig {
+        schedule_limit: 1_000,
+        race_runs: 5,
+        seed: 7,
+        use_race_phase: false,
+        include_pct: false,
+        workers: 2,
+        por: false,
+        cache: false,
+    };
+    let cache_cfg = HarnessConfig {
+        cache: true,
+        ..base.clone()
+    };
+    for name in ["CS.reorder_4_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let plain = sct::harness::pipeline::run_benchmark(&spec, &base);
+        let cached = sct::harness::pipeline::run_benchmark(&spec, &cache_cfg);
+        for label in ["IPB", "IDB", "DFS", "Rand", "MapleAlg"] {
+            let p = plain.technique(label).unwrap();
+            let c = cached.technique(label).unwrap();
+            assert_eq!(
+                sans_cache_counters(p.clone()),
+                sans_cache_counters(c.clone()),
+                "{name}: {label} row changed under --schedule-cache"
+            );
+        }
+        for label in ["IPB", "IDB"] {
+            let p = plain.technique(label).unwrap();
+            let c = cached.technique(label).unwrap();
+            assert!(
+                c.cache_hits > 0 && c.executions < p.executions,
+                "{name}: {label} cache saved nothing ({} vs {} executions)",
+                c.executions,
+                p.executions
+            );
+        }
+        // Techniques without a covered interior are untouched.
+        assert_eq!(plain.technique("Rand"), cached.technique("Rand"), "{name}");
+        assert_eq!(plain.technique("DFS"), cached.technique("DFS"), "{name}");
+    }
+}
+
 #[test]
 fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
     // End-to-end through the harness: `--por` must not change which
@@ -408,6 +687,7 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         include_pct: false,
         workers: 2,
         por: false,
+        cache: false,
     };
     let por_cfg = HarnessConfig {
         por: true,
