@@ -20,6 +20,7 @@ fn bench_fig2(c: &mut Criterion) {
         workers: 2,
         por: false,
         cache: false,
+        steal_workers: 1,
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {

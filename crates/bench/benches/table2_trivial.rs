@@ -38,6 +38,7 @@ fn bench_table2(c: &mut Criterion) {
         workers: 2,
         por: false,
         cache: false,
+        steal_workers: 1,
     };
     let results = sct_harness::run_study(&config, Some("splash2"));
     group.bench_function("derive_table2_counters", |b| {

@@ -47,6 +47,17 @@ pub trait BoundPolicy {
 
     /// Name of the policy ("preemption", "delay", "none").
     fn name(&self) -> &'static str;
+
+    /// Whether this policy can ever exclude a decision, i.e. whether any
+    /// choice can have non-zero cost. A policy that never prunes makes the
+    /// sleep-set wake-on-bound-conflict rule vacuous: the previously-chosen
+    /// thread *always* goes to sleep on backtrack, so the entry sleep set of
+    /// every sibling subtree is known before the subtree to its left has been
+    /// explored — the property the work-stealing frontier
+    /// ([`crate::steal`]) relies on to hand out sibling subtrees in parallel.
+    fn can_prune(&self) -> bool {
+        true
+    }
 }
 
 /// No bounding: every decision is free. Bounded DFS with this policy is plain
@@ -60,6 +71,9 @@ impl BoundPolicy for NoBound {
     }
     fn name(&self) -> &'static str {
         "none"
+    }
+    fn can_prune(&self) -> bool {
+        false
     }
 }
 

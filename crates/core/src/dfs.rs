@@ -72,6 +72,34 @@ struct ChoicePoint {
     bound_prunes_at_entry: u64,
 }
 
+/// A frontier subtree in transit between two searches: everything a thief
+/// worker needs to explore a victim's unexplored sibling subtrees exactly as
+/// the serial search would have (see [`crate::steal`]).
+///
+/// Produced by [`BoundedDfs::donate_oldest_subtree`] on the victim and
+/// consumed by [`BoundedDfs::seed_subtree`] on a fresh thief scheduler.
+#[derive(Debug, Clone)]
+pub struct SubtreeSeed {
+    /// Decision path `(thread, cost)` from the root of the schedule tree down
+    /// to — excluding — the branching node the alternatives hang off.
+    pub prefix: Vec<(ThreadId, u32)>,
+    /// The unexplored alternatives at the branching node, in reverse thread
+    /// order (`pop` explores lower thread ids first — the exact layout the
+    /// node had on the victim's stack).
+    pub alternatives: Vec<(ThreadId, u32)>,
+    /// Sleep set in force on entry to the first donated alternative: the
+    /// victim node's sleep set plus the operation of the child the victim
+    /// kept, which the serial search would have put to sleep when
+    /// backtracking into the first alternative.
+    pub sleep: Vec<PendingOp>,
+    /// How many sleep-set insertions the boundary hand-off above accounts
+    /// for (1 when sleep sets are on, else 0). The serial search performs
+    /// them inside the `begin_execution` that enters the first donated
+    /// alternative, so the stealing fold charges them when it crosses into
+    /// this subtree's stream — the victim never performs them itself.
+    pub entry_slept: u64,
+}
+
 /// Depth-first exploration of all terminal schedules whose total cost under
 /// `policy` is at most `bound`.
 ///
@@ -219,6 +247,130 @@ impl BoundedDfs {
     /// hand to [`Scheduler::end_execution`]. Equivalent to it in effect.
     pub fn finish_cached_execution(&mut self) {
         self.stack.truncate(self.pos);
+    }
+
+    /// Current decision-stack depth. Between executions this is the length of
+    /// the last explored path; right after a successful
+    /// [`Scheduler::begin_execution`] it is the depth of the decision the
+    /// backtrack just changed, plus one — which is how the work-stealing
+    /// engine ([`crate::steal`]) detects that the search has moved past a
+    /// donated node.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of alternatives the bound has excluded so far (the cumulative
+    /// counter behind [`BoundedDfs::was_pruned`]).
+    pub fn bound_prune_count(&self) -> u64 {
+        self.bound_prunes
+    }
+
+    /// Hand every unexplored alternative at the *shallowest* stack node that
+    /// still has any to a thief, together with the prefix and entry sleep
+    /// state the thief needs to explore them exactly as this search would
+    /// have. Returns the seed and the stack index of the stripped node; once
+    /// the backtracking search retreats past that index (its depth drops to
+    /// the returned value or below), it has reached the point where the
+    /// serial search would have entered the donated subtrees.
+    ///
+    /// Must only be called between executions (after
+    /// [`Scheduler::end_execution`] / before the next `begin_execution`), so
+    /// the stack is exactly the last explored path. The victim keeps the
+    /// child it is currently under at the stripped node; because every node
+    /// below the stripped one holds no alternatives, the victim's search
+    /// completes once that child's subtree is exhausted.
+    ///
+    /// Sound only when sleep sets are off or the policy cannot prune
+    /// ([`BoundPolicy::can_prune`]): under a finite bound the
+    /// wake-on-bound-conflict rule makes a sibling's entry sleep set depend
+    /// on what the bound excluded inside the previous sibling's subtree,
+    /// which is unknown until that subtree has been fully explored — there
+    /// is nothing deterministic to donate. Debug-asserted.
+    pub fn donate_oldest_subtree(&mut self) -> Option<(SubtreeSeed, usize)> {
+        debug_assert!(
+            !self.sleep_sets || !self.policy.can_prune(),
+            "donating with sleep sets under a pruning bound is unsound"
+        );
+        if self.first || self.complete {
+            return None;
+        }
+        let index = self
+            .stack
+            .iter()
+            .position(|cp| !cp.alternatives.is_empty())?;
+        let prefix = self.stack[..index]
+            .iter()
+            .map(|cp| (cp.chosen, cp.cost))
+            .collect();
+        let node = &mut self.stack[index];
+        let alternatives = std::mem::take(&mut node.alternatives);
+        let mut sleep = node.sleep.clone();
+        let mut entry_slept = 0;
+        if self.sleep_sets {
+            // The serial search would push the current child's operation into
+            // the node's sleep set when backtracking into the first donated
+            // alternative. That backtrack now happens on the thief's side of
+            // the hand-off, so perform the push here and let the fold charge
+            // its counter increment at the stream boundary. No
+            // bound-conflict check is needed: `can_prune()` is false on this
+            // path, so the snapshot comparison could never fail.
+            if let Some(op) = node.chosen_op {
+                sleep.push(op);
+                entry_slept = 1;
+            }
+        }
+        Some((
+            SubtreeSeed {
+                prefix,
+                alternatives,
+                sleep,
+                entry_slept,
+            },
+            index,
+        ))
+    }
+
+    /// Initialise a fresh scheduler with a donated subtree: the next
+    /// `begin_execution` replays `prefix` and the first alternative, and the
+    /// search then explores exactly the donated subtrees — in the order and
+    /// with the sleep-set evolution the serial search would have used — and
+    /// completes when they are exhausted (backtracking past the seeded node
+    /// finds no further alternatives).
+    pub fn seed_subtree(&mut self, seed: SubtreeSeed) {
+        debug_assert!(
+            self.first && self.stack.is_empty(),
+            "seed a subtree before the first execution"
+        );
+        let SubtreeSeed {
+            prefix,
+            mut alternatives,
+            sleep,
+            entry_slept: _,
+        } = seed;
+        for (chosen, cost) in prefix {
+            self.stack.push(ChoicePoint {
+                chosen,
+                cost,
+                // Refreshed from the live scheduling point during replay
+                // (sleep sets only); the prefix nodes never backtrack, so a
+                // placeholder is safe either way.
+                chosen_op: None,
+                alternatives: Vec::new(),
+                sleep: Vec::new(),
+                bound_prunes_at_entry: 0,
+            });
+        }
+        let (chosen, cost) = alternatives
+            .pop()
+            .expect("a donated subtree carries at least one alternative");
+        self.stack.push(ChoicePoint {
+            chosen,
+            cost,
+            chosen_op: None,
+            alternatives,
+            sleep,
+            bound_prunes_at_entry: 0,
+        });
     }
 }
 

@@ -33,6 +33,12 @@ pub struct ExploreLimits {
     /// Memory cap for the schedule cache (estimated bytes); once reached the
     /// cache stops growing and misses execute for real.
     pub cache_max_bytes: u64,
+    /// Worker threads for the work-stealing frontier *within* one systematic
+    /// search or bound level (see [`crate::steal`]). `1` keeps exploration
+    /// serial; any higher count produces bit-identical statistics. Randomised
+    /// techniques ignore the flag (their parallelism is budget sharding, see
+    /// [`crate::parallel`]).
+    pub steal_workers: usize,
 }
 
 impl Default for ExploreLimits {
@@ -43,6 +49,7 @@ impl Default for ExploreLimits {
             por: false,
             cache: false,
             cache_max_bytes: cache::DEFAULT_CACHE_BYTES,
+            steal_workers: 1,
         }
     }
 }
@@ -66,6 +73,15 @@ impl ExploreLimits {
     /// on (or off).
     pub fn with_cache(self, cache: bool) -> Self {
         ExploreLimits { cache, ..self }
+    }
+
+    /// The same limits with the within-bound work-stealing frontier set to
+    /// `steal_workers` threads (`1` disables it).
+    pub fn with_steal_workers(self, steal_workers: usize) -> Self {
+        ExploreLimits {
+            steal_workers: steal_workers.max(1),
+            ..self
+        }
     }
 }
 
@@ -204,8 +220,12 @@ pub fn bounded_dfs(
     bound: u32,
     limits: &ExploreLimits,
 ) -> ExplorationStats {
-    let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
-    let mut stats = explore_with(program, config, &mut scheduler, limits);
+    let mut stats = if limits.steal_workers > 1 {
+        crate::steal::explore_bounded_stealing(program, config, kind, bound, limits)
+    } else {
+        let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
+        explore_with(program, config, &mut scheduler, limits)
+    };
     stats.final_bound = Some(bound);
     if stats.found_bug() {
         stats.bound_of_first_bug = Some(bound);
@@ -326,14 +346,44 @@ pub fn run_technique(
 ) -> ExplorationStats {
     match technique {
         Technique::Dfs => {
-            let mut scheduler = BoundedDfs::unbounded().with_sleep_sets(limits.por);
-            explore_with(program, config, &mut scheduler, limits)
+            if limits.steal_workers > 1 {
+                crate::steal::explore_bounded_stealing(
+                    program,
+                    config,
+                    BoundKind::None,
+                    u32::MAX,
+                    limits,
+                )
+            } else {
+                let mut scheduler = BoundedDfs::unbounded().with_sleep_sets(limits.por);
+                explore_with(program, config, &mut scheduler, limits)
+            }
         }
         Technique::IterativePreemptionBounding => {
-            iterative_bounding(program, config, BoundKind::Preemption, limits)
+            if limits.steal_workers > 1 {
+                crate::parallel::parallel_iterative_bounding(
+                    program,
+                    config,
+                    BoundKind::Preemption,
+                    limits,
+                    1,
+                )
+            } else {
+                iterative_bounding(program, config, BoundKind::Preemption, limits)
+            }
         }
         Technique::IterativeDelayBounding => {
-            iterative_bounding(program, config, BoundKind::Delay, limits)
+            if limits.steal_workers > 1 {
+                crate::parallel::parallel_iterative_bounding(
+                    program,
+                    config,
+                    BoundKind::Delay,
+                    limits,
+                    1,
+                )
+            } else {
+                iterative_bounding(program, config, BoundKind::Delay, limits)
+            }
         }
         Technique::Random { seed } => {
             let mut scheduler = RandomScheduler::new(limits.schedule_limit, seed);

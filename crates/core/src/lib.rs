@@ -60,10 +60,11 @@ pub mod pct;
 pub mod random;
 pub mod scheduler;
 pub mod stats;
+pub mod steal;
 
 pub use bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
 pub use cache::{CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
-pub use dfs::BoundedDfs;
+pub use dfs::{BoundedDfs, SubtreeSeed};
 pub use explore::{explore_with, iterative_bounding, ExploreLimits, Technique};
 pub use maple::MapleLikeScheduler;
 pub use parallel::{
@@ -74,12 +75,13 @@ pub use pct::PctScheduler;
 pub use random::RandomScheduler;
 pub use scheduler::Scheduler;
 pub use stats::ExplorationStats;
+pub use steal::{explore_bounded_stealing, explore_bounded_stealing_digests};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
     pub use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
-    pub use crate::dfs::BoundedDfs;
+    pub use crate::dfs::{BoundedDfs, SubtreeSeed};
     pub use crate::explore::{self, explore_with, iterative_bounding, ExploreLimits, Technique};
     pub use crate::maple::MapleLikeScheduler;
     pub use crate::parallel::{
@@ -90,4 +92,5 @@ pub mod prelude {
     pub use crate::random::RandomScheduler;
     pub use crate::scheduler::Scheduler;
     pub use crate::stats::ExplorationStats;
+    pub use crate::steal::{self, explore_bounded_stealing, explore_bounded_stealing_digests};
 }

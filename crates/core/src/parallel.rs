@@ -264,8 +264,11 @@ struct ScheduleDigest {
 }
 
 impl ScheduleDigest {
-    fn of_run(run: &ScheduleRun, (slept, pruned_by_sleep): (u64, u64), executions: u64) -> Self {
-        let d = run.digest();
+    fn of_terminal(
+        d: &cache::TerminalDigest,
+        (slept, pruned_by_sleep): (u64, u64),
+        executions: u64,
+    ) -> Self {
         let buggy = d.is_buggy();
         ScheduleDigest {
             buggy,
@@ -273,11 +276,15 @@ impl ScheduleDigest {
             threads_created: d.threads_created,
             max_enabled: d.max_enabled,
             scheduling_points: d.scheduling_points,
-            bug: if buggy { d.bug } else { None },
+            bug: if buggy { d.bug.clone() } else { None },
             slept,
             pruned_by_sleep,
             executions,
         }
+    }
+
+    fn of_run(run: &ScheduleRun, counters: (u64, u64), executions: u64) -> Self {
+        Self::of_terminal(&run.digest(), counters, executions)
     }
 }
 
@@ -335,6 +342,13 @@ fn run_bound(
     stop: &AtomicBool,
     shared_cache: Option<&RwLock<ScheduleCache>>,
 ) -> BoundRun {
+    if limits.steal_workers > 1 && !limits.por {
+        // Split the level's own frontier across the stealing workers; the
+        // stream comes back in serial visit order, so the conversion below is
+        // a straight repackaging (POR levels under a pruning bound stay
+        // serial — see the gate in [`crate::steal`]).
+        return run_bound_stealing(program, config, kind, bound, limits, stop, shared_cache);
+    }
     let cap = limits.schedule_limit;
     let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
     let mut exec = Execution::new_shared(program, config);
@@ -394,6 +408,56 @@ fn run_bound(
         slept,
         pruned_by_sleep,
         executions,
+    }
+}
+
+/// [`run_bound`] with the level's frontier split across the work-stealing
+/// engine: the stolen stream is already in serial visit order with serial
+/// counter snapshots, so it repackages one-to-one into the digests / visit
+/// records the fold consumes.
+fn run_bound_stealing(
+    program: &Program,
+    config: &ExecConfig,
+    kind: BoundKind,
+    bound: u32,
+    limits: &ExploreLimits,
+    stop: &AtomicBool,
+    shared_cache: Option<&RwLock<ScheduleCache>>,
+) -> BoundRun {
+    let level =
+        crate::steal::run_level_stealing(program, config, kind, bound, limits, stop, shared_cache);
+    let mut digests: Vec<ScheduleDigest> = Vec::new();
+    let mut visits: Option<Vec<VisitRecord>> = shared_cache.map(|_| Vec::new());
+    for item in level.items {
+        let counted_digest = item.counted.then(|| {
+            ScheduleDigest::of_terminal(
+                &item.digest,
+                (item.slept, item.pruned_by_sleep),
+                item.executions,
+            )
+        });
+        match (visits.as_mut(), counted_digest) {
+            (Some(records), counted_digest) => {
+                let trace = item.trace.expect("visit trace requested but not returned");
+                records.push(VisitRecord {
+                    schedule: trace.schedule.into_boxed_slice(),
+                    enabled_counts: trace.enabled_counts.into_boxed_slice(),
+                    counted: counted_digest,
+                });
+            }
+            (None, Some(digest)) => digests.push(digest),
+            (None, None) => {}
+        }
+    }
+    BoundRun {
+        bound,
+        digests,
+        visits,
+        complete: level.complete,
+        pruned: level.pruned,
+        slept: level.slept,
+        pruned_by_sleep: level.pruned_by_sleep,
+        executions: level.executions,
     }
 }
 
@@ -523,8 +587,11 @@ pub fn parallel_iterative_bounding(
     let workers = workers.max(1);
     // With no bound there are no levels to parallelise: every "level" would
     // re-run the same full unbounded DFS, so delegate to the serial driver
-    // (same as the one-worker case).
-    if workers == 1 || kind == BoundKind::None {
+    // (same as the one-worker case — unless the work-stealing frontier can
+    // split the levels *internally*, which needs the digest-folding path
+    // even at one level-worker).
+    let stealing_within_levels = limits.steal_workers > 1 && !limits.por;
+    if kind == BoundKind::None || (workers == 1 && !stealing_within_levels) {
         return explore::iterative_bounding(program, config, kind, limits);
     }
     let mut agg = ExplorationStats::new(label);

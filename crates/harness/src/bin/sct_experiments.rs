@@ -3,25 +3,22 @@
 //! and the EXPERIMENTS report to an output directory.
 //!
 //! ```text
-//! sct-experiments [--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR]
-//!                 [--no-race-phase] [--with-pct] [--por] [--schedule-cache]
-//!                 [--workers N] [--out DIR]
+//! sct-experiments [common flags] [--out DIR]
 //! ```
 //!
+//! The common flags are shared with `sct-table` (see `sct_harness::cli`):
 //! `--por` runs the systematic techniques (DFS, IPB, IDB) with sleep-set
-//! partial-order reduction, shrinking their schedule spaces without losing
-//! bugs or terminal states.
-//!
-//! `--schedule-cache` makes iterative bounding (IPB, IDB) serve the interior
-//! already covered at lower bound levels from a decision-prefix memo instead
-//! of re-executing it; the study output is identical, only the `executions` /
-//! `cache_hits` / `cache_bytes` CSV columns change.
+//! partial-order reduction; `--schedule-cache` makes iterative bounding
+//! serve the interior already covered at lower bound levels from a
+//! decision-prefix memo; `--steal-workers N` splits each systematic search's
+//! own frontier across N work-stealing threads (statistics stay
+//! bit-identical); `--workers N` fans benchmarks × techniques out.
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
 //! default here is a laptop-friendly 2,000 schedules.
 
 use sct_harness::{
-    experiments_markdown, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1,
+    cli, experiments_markdown, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1,
     table2, table3, table3_csv,
 };
 use std::path::PathBuf;
@@ -41,44 +38,18 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("experiments-out");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        if cli::parse_common_flag(&mut config, &mut filter, &arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
-            "--schedules" => {
-                config.schedule_limit = value("--schedules")?
-                    .parse()
-                    .map_err(|e| format!("--schedules: {e}"))?;
-            }
-            "--race-runs" => {
-                config.race_runs = value("--race-runs")?
-                    .parse()
-                    .map_err(|e| format!("--race-runs: {e}"))?;
-            }
-            "--seed" => {
-                config.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--filter" => filter = Some(value("--filter")?),
-            "--no-race-phase" => config.use_race_phase = false,
-            "--with-pct" => config.include_pct = true,
-            "--por" => config.por = true,
-            "--schedule-cache" => config.cache = true,
-            "--workers" => {
-                config.workers = value("--workers")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--workers: {e}"))?
-                    .max(1);
-            }
-            "--out" => out = PathBuf::from(value("--out")?),
-            "--help" | "-h" => {
-                println!(
-                    "usage: sct-experiments [--schedules N] [--race-runs N] [--seed N] \
-                     [--filter SUBSTR] [--no-race-phase] [--with-pct] [--por] \
-                     [--schedule-cache] [--workers N] [--out DIR]"
+            "--out" => {
+                out = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "missing value for --out".to_string())?,
                 );
+            }
+            "--help" | "-h" => {
+                println!("usage: sct-experiments {} [--out DIR]", cli::COMMON_USAGE);
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -101,7 +72,7 @@ fn main() {
     };
 
     eprintln!(
-        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}",
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}{}",
         args.config.schedule_limit,
         args.config.race_runs,
         args.config.seed,
@@ -116,6 +87,11 @@ fn main() {
             ", schedule cache"
         } else {
             ""
+        },
+        if args.config.steal_workers > 1 {
+            format!(", {} steal workers", args.config.steal_workers)
+        } else {
+            String::new()
         }
     );
     let started = std::time::Instant::now();

@@ -1,25 +1,30 @@
 //! `sct-table` — regenerate a single table or figure of the paper.
 //!
 //! ```text
-//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> [--schedules N] [--filter SUBSTR] [--seed N]
-//!           [--por] [--schedule-cache]
+//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> [common flags]
 //! ```
 //!
-//! `table1` is pure metadata and runs instantly; everything else runs the
-//! experiment pipeline (over the filtered subset, if `--filter` is given)
-//! before rendering.
+//! The common flags are shared with `sct-experiments` (see
+//! `sct_harness::cli`), so options like `--por`, `--schedule-cache` and
+//! `--steal-workers` behave identically in both binaries. `table1` is pure
+//! metadata and runs instantly; everything else runs the experiment pipeline
+//! (over the filtered subset, if `--filter` is given) before rendering.
 
 use sct_harness::{
-    fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
+    cli, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
 };
+
+fn usage() -> String {
+    format!(
+        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> {}",
+        cli::COMMON_USAGE
+    )
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(what) = args.next() else {
-        eprintln!(
-            "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> \
-             [--schedules N] [--filter SUBSTR] [--seed N]"
-        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     };
 
@@ -29,24 +34,18 @@ fn main() {
     };
     let mut filter: Option<String> = None;
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--schedules" => {
-                config.schedule_limit = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(config.schedule_limit)
+        match cli::parse_common_flag(&mut config, &mut filter, &arg, &mut args) {
+            Ok(true) => {}
+            Ok(false) => {
+                if arg == "--help" || arg == "-h" {
+                    println!("{}", usage());
+                    return;
+                }
+                eprintln!("unknown argument: {arg}");
+                std::process::exit(2);
             }
-            "--seed" => {
-                config.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(config.seed)
-            }
-            "--filter" => filter = args.next(),
-            "--por" => config.por = true,
-            "--schedule-cache" => config.cache = true,
-            other => {
-                eprintln!("unknown argument: {other}");
+            Err(e) => {
+                eprintln!("error: {e}");
                 std::process::exit(2);
             }
         }

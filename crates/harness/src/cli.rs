@@ -1,0 +1,152 @@
+//! Shared command-line parsing for the harness binaries.
+//!
+//! `sct-experiments` and `sct-table` accept the same study-configuration
+//! flags; this module parses them in one place so a new flag (such as
+//! `--steal-workers`) shows up in both binaries — and both usage strings —
+//! without hand-duplicated match arms that can drift apart.
+
+use crate::pipeline::HarnessConfig;
+
+/// Usage fragment for the shared study flags, in match order. The binaries
+/// splice this into their usage strings so the flag lists cannot go stale.
+pub const COMMON_USAGE: &str = "[--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR] \
+[--no-race-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] [--steal-workers N]";
+
+fn value(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<String, String> {
+    rest.next()
+        .ok_or_else(|| format!("missing value for {name}"))
+}
+
+fn parsed<T>(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    value(rest, name)?
+        .parse()
+        .map_err(|e| format!("{name}: {e}"))
+}
+
+/// Try to consume `arg` (and its value, if it takes one, from `rest`) as one
+/// of the shared study flags, updating `config` / `filter` in place. Returns
+/// `Ok(true)` when the flag was recognised, `Ok(false)` when the caller
+/// should handle it as a binary-specific argument, and `Err` for a missing
+/// or malformed value.
+pub fn parse_common_flag(
+    config: &mut HarnessConfig,
+    filter: &mut Option<String>,
+    arg: &str,
+    rest: &mut dyn Iterator<Item = String>,
+) -> Result<bool, String> {
+    match arg {
+        "--schedules" => config.schedule_limit = parsed(rest, "--schedules")?,
+        "--race-runs" => config.race_runs = parsed(rest, "--race-runs")?,
+        "--seed" => config.seed = parsed(rest, "--seed")?,
+        "--filter" => *filter = Some(value(rest, "--filter")?),
+        "--no-race-phase" => config.use_race_phase = false,
+        "--with-pct" => config.include_pct = true,
+        "--por" => config.por = true,
+        "--schedule-cache" => config.cache = true,
+        "--workers" => config.workers = parsed::<usize>(rest, "--workers")?.max(1),
+        "--steal-workers" => {
+            config.steal_workers = parsed::<usize>(rest, "--steal-workers")?.max(1);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(HarnessConfig, Option<String>), String> {
+        let mut config = HarnessConfig::default();
+        let mut filter = None;
+        let mut rest = args.iter().map(|s| s.to_string());
+        while let Some(arg) = rest.next() {
+            if !parse_common_flag(&mut config, &mut filter, &arg, &mut rest)? {
+                return Err(format!("unknown argument: {arg}"));
+            }
+        }
+        Ok((config, filter))
+    }
+
+    #[test]
+    fn every_shared_flag_is_parsed() {
+        let (config, filter) = parse(&[
+            "--schedules",
+            "123",
+            "--race-runs",
+            "4",
+            "--seed",
+            "99",
+            "--filter",
+            "splash",
+            "--no-race-phase",
+            "--with-pct",
+            "--por",
+            "--schedule-cache",
+            "--workers",
+            "3",
+            "--steal-workers",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(config.schedule_limit, 123);
+        assert_eq!(config.race_runs, 4);
+        assert_eq!(config.seed, 99);
+        assert_eq!(filter.as_deref(), Some("splash"));
+        assert!(!config.use_race_phase);
+        assert!(config.include_pct);
+        assert!(config.por);
+        assert!(config.cache);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.steal_workers, 8);
+    }
+
+    #[test]
+    fn worker_counts_are_clamped_to_at_least_one() {
+        let (config, _) = parse(&["--workers", "0", "--steal-workers", "0"]).unwrap();
+        assert_eq!(config.workers, 1);
+        assert_eq!(config.steal_workers, 1);
+    }
+
+    #[test]
+    fn unknown_flags_are_left_to_the_caller() {
+        assert!(parse(&["--out", "dir"]).is_err());
+        let mut config = HarnessConfig::default();
+        let mut filter = None;
+        let mut rest = std::iter::empty();
+        assert_eq!(
+            parse_common_flag(&mut config, &mut filter, "--out", &mut rest),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_reported() {
+        assert!(parse(&["--schedules"]).unwrap_err().contains("missing"));
+        assert!(parse(&["--seed", "not-a-number"])
+            .unwrap_err()
+            .contains("--seed"));
+    }
+
+    #[test]
+    fn usage_string_names_every_shared_flag() {
+        for flag in [
+            "--schedules",
+            "--race-runs",
+            "--seed",
+            "--filter",
+            "--no-race-phase",
+            "--with-pct",
+            "--por",
+            "--schedule-cache",
+            "--workers",
+            "--steal-workers",
+        ] {
+            assert!(COMMON_USAGE.contains(flag), "{flag} missing from usage");
+        }
+    }
+}

@@ -192,6 +192,7 @@ mod tests {
             workers: 2,
             por: false,
             cache: false,
+            steal_workers: 1,
         };
         run_study(&config, Some("splash2"))
     }

@@ -17,11 +17,13 @@
 //! every artefact to an output directory; `sct-table` runs a single table or
 //! figure (optionally on a subset of benchmarks) and prints it.
 
+pub mod cli;
 pub mod figures;
 pub mod pipeline;
 pub mod report;
 pub mod tables;
 
+pub use cli::{parse_common_flag, COMMON_USAGE};
 pub use figures::{fig2a, fig2b, scatter_fig3, scatter_fig4, VennCounts};
 pub use pipeline::{run_benchmark, run_study, BenchmarkResult, HarnessConfig, StudyResults};
 pub use report::experiments_markdown;

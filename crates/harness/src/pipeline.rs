@@ -37,6 +37,12 @@ pub struct HarnessConfig {
     /// `cache_bytes` CSV columns change); `sct-experiments
     /// --schedule-cache` switches it on.
     pub cache: bool,
+    /// Worker threads for the work-stealing frontier *within* each
+    /// systematic search / bound level (see `sct_core::steal`). `1` (the
+    /// default) keeps every search serial; higher counts split a single
+    /// DFS or bound level across cores with bit-identical statistics.
+    /// `--steal-workers` on both binaries sets it.
+    pub steal_workers: usize,
 }
 
 impl Default for HarnessConfig {
@@ -50,6 +56,7 @@ impl Default for HarnessConfig {
             workers: default_workers(),
             por: false,
             cache: false,
+            steal_workers: 1,
         }
     }
 }
@@ -174,7 +181,8 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
     };
     let limits = ExploreLimits::with_schedule_limit(config.schedule_limit)
         .with_por(config.por)
-        .with_cache(config.cache);
+        .with_cache(config.cache)
+        .with_steal_workers(config.steal_workers);
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
@@ -245,6 +253,7 @@ mod tests {
             workers: 2,
             por: false,
             cache: false,
+            steal_workers: 1,
         }
     }
 
@@ -317,6 +326,23 @@ mod tests {
             assert_eq!(s.name, p.name);
             assert_eq!(s.races, p.races);
             assert_eq!(s.racy_locations, p.racy_locations);
+            assert_eq!(s.techniques, p.techniques, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn stolen_frontier_study_statistics_are_identical_to_the_serial_run() {
+        // `--steal-workers` splits each systematic search's own frontier;
+        // the per-cell statistics must still be bit-identical to the serial
+        // study (the determinism guarantee of `sct_core::steal`).
+        let serial = run_study(&quick_config(), Some("splash2"));
+        let stolen_cfg = HarnessConfig {
+            steal_workers: 4,
+            ..quick_config()
+        };
+        let stolen = run_study(&stolen_cfg, Some("splash2"));
+        assert_eq!(serial.benchmarks.len(), stolen.benchmarks.len());
+        for (s, p) in serial.benchmarks.iter().zip(&stolen.benchmarks) {
             assert_eq!(s.techniques, p.techniques, "{}", s.name);
         }
     }

@@ -131,6 +131,7 @@ mod tests {
             workers: 2,
             por: false,
             cache: false,
+            steal_workers: 1,
         };
         let results = run_study(&config, Some("splash2"));
         let md = experiments_markdown(&results);

@@ -115,6 +115,25 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Deterministically fork an independent child generator off this
+        /// one, advancing `self` by exactly one draw. The child is seeded
+        /// through the full SplitMix64 expansion of that draw, so the parent
+        /// stream and every child stream are statistically decorrelated, and
+        /// the whole split *tree* is a pure function of the root seed — the
+        /// property parallel hand-offs (one stream per stolen subtree or
+        /// worker) need for reproducible runs at any worker count.
+        pub fn split(&mut self) -> SmallRng {
+            SmallRng::seed_from_u64(self.next_u64())
+        }
+
+        /// [`split`](SmallRng::split) `n` ways at once: the children of one
+        /// parent, in order. Equivalent to calling `split` `n` times.
+        pub fn split_n(&mut self, n: usize) -> Vec<SmallRng> {
+            (0..n).map(|_| self.split()).collect()
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -173,7 +192,7 @@ pub mod seq {
 mod tests {
     use super::rngs::SmallRng;
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn fixed_seed_reproduces_the_same_sequence() {
@@ -218,6 +237,62 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_functions_of_the_root_seed() {
+        // Two identical parents must produce identical child trees: same
+        // child sequences, and the same parent continuation afterwards.
+        let mut p1 = SmallRng::seed_from_u64(1234);
+        let mut p2 = SmallRng::seed_from_u64(1234);
+        let mut c1 = p1.split();
+        let mut c2 = p2.split();
+        let mut g1 = c1.split(); // grandchild: the tree recurses
+        let mut g2 = c2.split();
+        for _ in 0..50 {
+            assert_eq!(
+                c1.gen_range(0..1_000_000usize),
+                c2.gen_range(0..1_000_000usize)
+            );
+            assert_eq!(
+                g1.gen_range(0..1_000_000usize),
+                g2.gen_range(0..1_000_000usize)
+            );
+            assert_eq!(
+                p1.gen_range(0..1_000_000usize),
+                p2.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn split_streams_diverge_from_the_parent_and_each_other() {
+        let mut parent = SmallRng::seed_from_u64(77);
+        let mut children = parent.split_n(3);
+        let mut draws: Vec<Vec<u64>> = children
+            .iter_mut()
+            .map(|c| (0..16).map(|_| c.next_u64()).collect())
+            .collect();
+        draws.push((0..16).map(|_| parent.next_u64()).collect());
+        for i in 0..draws.len() {
+            for j in i + 1..draws.len() {
+                assert_ne!(draws[i], draws[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn split_n_equals_repeated_split() {
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        let mut many = a.split_n(4);
+        for child in many.iter_mut() {
+            let mut single = b.split();
+            for _ in 0..8 {
+                assert_eq!(child.next_u64(), single.next_u64());
+            }
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "parents advanced identically");
     }
 
     #[test]

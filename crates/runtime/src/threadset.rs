@@ -78,6 +78,23 @@ impl ThreadSet {
         self.lo == 0 && self.hi.iter().all(|&w| w == 0)
     }
 
+    /// Add every member of `other` to this set.
+    ///
+    /// Spill storage grows only to `other`'s word count, and `other` never
+    /// ends in an all-zero spill word (insertion only allocates a word to
+    /// set a bit in it), so a union cannot introduce trailing zero words —
+    /// which keeps the derived `PartialEq`/`Hash` (comparing `hi`
+    /// structurally) an equality over set *contents*.
+    pub fn union_with(&mut self, other: &ThreadSet) {
+        self.lo |= other.lo;
+        if self.hi.len() < other.hi.len() {
+            self.hi.resize(other.hi.len(), 0);
+        }
+        for (w, &bits) in self.hi.iter_mut().zip(other.hi.iter()) {
+            *w |= bits;
+        }
+    }
+
     /// The members in ascending thread-id order.
     pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
         std::iter::once(self.lo)
@@ -180,6 +197,64 @@ mod tests {
         assert_eq!(set.iter().count(), 0);
         assert!(!set.contains(ThreadId(0)));
         assert!(!set.contains(ThreadId(500)));
+    }
+
+    #[test]
+    fn inline_to_spill_boundary_round_trips_exactly() {
+        // 63 threads: strictly inline. 64: the full inline word, still no
+        // spill. 65: the first spilled id. Membership, length and iteration
+        // order must round-trip identically across the boundary.
+        for n in [63usize, 64, 65] {
+            let members: Vec<ThreadId> = (0..n).map(ThreadId).collect();
+            let set = ThreadSet::from_slice(&members);
+            assert_eq!(set.len(), n, "{n} threads");
+            for i in 0..n {
+                assert!(set.contains(ThreadId(i)), "thread {i} of {n} lost");
+            }
+            assert!(!set.contains(ThreadId(n)), "one past the end at {n}");
+            assert!(!set.contains(ThreadId(n + 64)), "a word past the end");
+            let back: Vec<ThreadId> = set.iter().collect();
+            assert_eq!(back, members, "{n}-thread iteration round trip");
+        }
+        // The boundary ids themselves, in isolation: 63 is the last inline
+        // bit, 64 the first bit of the first spill word.
+        let edge = ThreadSet::from_slice(&[ThreadId(63), ThreadId(64)]);
+        assert!(edge.contains(ThreadId(63)) && edge.contains(ThreadId(64)));
+        assert!(!edge.contains(ThreadId(62)) && !edge.contains(ThreadId(65)));
+        assert_eq!(edge.len(), 2);
+    }
+
+    #[test]
+    fn union_composes_inline_and_spill_words() {
+        let mut a = ThreadSet::from_slice(&[ThreadId(1), ThreadId(63)]);
+        let b = ThreadSet::from_slice(&[ThreadId(63), ThreadId(64), ThreadId(130)]);
+        a.union_with(&b);
+        for t in [1, 63, 64, 130] {
+            assert!(a.contains(ThreadId(t)), "{t} missing after union");
+        }
+        for t in [0, 62, 65, 129, 131] {
+            assert!(!a.contains(ThreadId(t)), "{t} phantom after union");
+        }
+        assert_eq!(a.len(), 4);
+        // The union must equal the set built directly from the members —
+        // including derived equality, i.e. no trailing-zero spill words.
+        let direct: ThreadSet = [1, 63, 64, 130].into_iter().map(ThreadId).collect();
+        assert_eq!(a, direct);
+
+        // Spilled ∪ inline-only must not grow the spill storage, so equality
+        // with the directly-built set again holds structurally.
+        let mut c = b.clone();
+        c.union_with(&ThreadSet::from_slice(&[ThreadId(2)]));
+        let direct: ThreadSet = [2, 63, 64, 130].into_iter().map(ThreadId).collect();
+        assert_eq!(c, direct);
+
+        // Union with the empty set is the identity, both directions.
+        let mut e = ThreadSet::new();
+        e.union_with(&b);
+        assert_eq!(e, b);
+        let mut f = b.clone();
+        f.union_with(&ThreadSet::new());
+        assert_eq!(f, b);
     }
 
     #[test]

@@ -12,6 +12,20 @@ fn limits(n: u64) -> ExploreLimits {
     ExploreLimits::with_schedule_limit(n)
 }
 
+/// The worker counts every parallel-vs-serial differential test runs at:
+/// serial, a small count, an oversubscribed count, plus any extra count CI
+/// injects through `SCT_TEST_WORKERS`.
+fn differential_worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 8];
+    if let Some(extra) = std::env::var("SCT_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        counts.push(extra.max(1));
+    }
+    counts
+}
+
 #[test]
 fn every_benchmark_has_a_bug_reachable_by_some_technique_or_is_documented_as_hard() {
     // The two benchmarks whose bugs are documented as needing very deep
@@ -153,6 +167,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         workers: 2,
         por: false,
         cache: false,
+        steal_workers: 1,
     };
     let mut results = run_study(&config, Some("splash2"));
     let more = run_study(&config, Some("CS.din_phil"));
@@ -367,13 +382,7 @@ fn por_parallel_iterative_bounding_is_bit_identical_to_the_serial_driver() {
     // the exact serial statistics — digests, sleep counters, bounds and
     // budget flags — at 1, 2 and 8 workers (plus any worker count injected
     // by CI through SCT_TEST_WORKERS).
-    let mut worker_counts = vec![1usize, 2, 8];
-    if let Some(extra) = std::env::var("SCT_TEST_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        worker_counts.push(extra.max(1));
-    }
+    let worker_counts = differential_worker_counts();
     for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
         let spec = benchmark_by_name(name).unwrap();
         let program = spec.program();
@@ -596,13 +605,7 @@ fn cached_parallel_iterative_bounding_is_bit_identical_to_the_serial_driver() {
     // cache_bytes counters recomputed by the fold's deterministic cache
     // replay — at 1, 2 and 8 workers (plus any count injected by CI through
     // SCT_TEST_WORKERS), with and without POR and budget truncation.
-    let mut worker_counts = vec![1usize, 2, 8];
-    if let Some(extra) = std::env::var("SCT_TEST_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        worker_counts.push(extra.max(1));
-    }
+    let worker_counts = differential_worker_counts();
     for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
         let spec = benchmark_by_name(name).unwrap();
         let program = spec.program();
@@ -640,6 +643,7 @@ fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
         workers: 2,
         por: false,
         cache: false,
+        steal_workers: 1,
     };
     let cache_cfg = HarnessConfig {
         cache: true,
@@ -688,6 +692,7 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         workers: 2,
         por: false,
         cache: false,
+        steal_workers: 1,
     };
     let por_cfg = HarnessConfig {
         por: true,
@@ -719,4 +724,121 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         // Randomised techniques are untouched by the toggle.
         assert_eq!(plain.technique("Rand"), por.technique("Rand"), "{name}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing frontier: the differential-testing harness.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stolen_frontier_techniques_are_bit_identical_to_the_serial_driver() {
+    // The oracle for the work-stealing frontier: splitting a systematic
+    // technique's own search across stealing threads must change *nothing*
+    // observable — the full `ExplorationStats` (schedules, executions, sleep
+    // counters, cache counters, bounds, first-bug bookkeeping, budget flags)
+    // stays bit-identical to the serial run at every worker count, under
+    // every flag combination. Where the combination is unsound to steal
+    // (POR with a pruning bound), the driver must fall back to serial, so
+    // equality still holds by construction.
+    let worker_counts = differential_worker_counts();
+    let techniques = [
+        Technique::Dfs,
+        Technique::IterativePreemptionBounding,
+        Technique::IterativeDelayBounding,
+    ];
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for (schedule_limit, por, cache) in [
+            (7u64, false, false),
+            (2_000, false, false),
+            (2_000, true, false),
+            (2_000, false, true),
+            (2_000, true, true),
+        ] {
+            for technique in techniques {
+                let base = ExploreLimits::with_schedule_limit(schedule_limit)
+                    .with_por(por)
+                    .with_cache(cache);
+                let serial = explore::run_technique(&program, &config, technique, &base);
+                for &workers in &worker_counts {
+                    let stolen = explore::run_technique(
+                        &program,
+                        &config,
+                        technique,
+                        &base.with_steal_workers(workers),
+                    );
+                    assert_eq!(
+                        serial,
+                        stolen,
+                        "{name}: {} with {workers} steal workers at limit \
+                         {schedule_limit}, por={por}, cache={cache}",
+                        technique.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stolen_frontier_preserves_bug_sets_and_terminal_fingerprints() {
+    // Below the statistics: the stolen search folds per-subtree results back
+    // in exact serial DFS order, so the *stream* of terminal digests — every
+    // counted schedule's bug or terminal-state fingerprint, in visit order —
+    // must be identical to the serial stream, not merely equal as a set.
+    let worker_counts = differential_worker_counts();
+    let mut buggy_streams = 0usize;
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for (kind, bound) in [
+            (BoundKind::None, u32::MAX),
+            (BoundKind::Preemption, 1),
+            (BoundKind::Preemption, 2),
+            (BoundKind::Delay, 1),
+        ] {
+            for por in [false, true] {
+                let base = limits(2_000).with_por(por);
+                let (serial_stats, serial_digests) = explore_bounded_stealing_digests(
+                    &program,
+                    &config,
+                    kind,
+                    bound,
+                    &base.with_steal_workers(1),
+                );
+                for &workers in &worker_counts {
+                    let (stolen_stats, stolen_digests) = explore_bounded_stealing_digests(
+                        &program,
+                        &config,
+                        kind,
+                        bound,
+                        &base.with_steal_workers(workers),
+                    );
+                    assert_eq!(
+                        serial_stats, stolen_stats,
+                        "{name}: {kind:?}({bound}) por={por}, {workers} workers: stats"
+                    );
+                    assert_eq!(
+                        serial_digests, stolen_digests,
+                        "{name}: {kind:?}({bound}) por={por}, {workers} workers: digest stream"
+                    );
+                }
+                // The derived observables the study reports — the set of
+                // distinct bugs and of non-buggy terminal states — follow
+                // from stream equality; track that the suite actually
+                // exercises buggy streams rather than vacuous empty ones.
+                if serial_digests.iter().any(|d| d.bug.is_some()) {
+                    buggy_streams += 1;
+                }
+                assert_eq!(serial_stats.schedules, serial_digests.len() as u64);
+            }
+        }
+    }
+    assert!(
+        buggy_streams >= 4,
+        "only {buggy_streams} configurations produced a bug; the suite went vacuous"
+    );
 }
