@@ -21,21 +21,23 @@ fn bench_fig2(c: &mut Criterion) {
         por: false,
         cache: false,
         steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {
-            let mut results = run_study(&config, Some("splash2"));
+            let mut results = run_study(&config, Some("splash2")).unwrap();
             results
                 .benchmarks
-                .extend(run_study(&config, Some("CS.sync")).benchmarks);
+                .extend(run_study(&config, Some("CS.sync")).unwrap().benchmarks);
             black_box(results.benchmarks.len())
         })
     });
     // Venn derivation itself, on precomputed results.
-    let mut results = run_study(&config, Some("splash2"));
+    let mut results = run_study(&config, Some("splash2")).unwrap();
     results
         .benchmarks
-        .extend(run_study(&config, Some("CS.din_phil")).benchmarks);
+        .extend(run_study(&config, Some("CS.din_phil")).unwrap().benchmarks);
     group.bench_function("derive_venn_counts", |b| {
         b.iter(|| {
             let a = fig2a(&results);

@@ -21,7 +21,7 @@ fn bench_cached_vs_uncached(c: &mut Criterion) {
     for name in BENCHMARKS {
         let program = spec(name).program();
         let uncached = ExploreLimits::with_schedule_limit(SCHEDULES);
-        let cached = uncached.with_cache(true);
+        let cached = uncached.clone().with_cache(true);
         for kind in [BoundKind::Preemption, BoundKind::Delay] {
             let label = kind.short_name();
             group.bench_with_input(

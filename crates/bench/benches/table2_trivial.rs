@@ -39,8 +39,10 @@ fn bench_table2(c: &mut Criterion) {
         por: false,
         cache: false,
         steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
     };
-    let results = sct_harness::run_study(&config, Some("splash2"));
+    let results = sct_harness::run_study(&config, Some("splash2")).unwrap();
     group.bench_function("derive_table2_counters", |b| {
         b.iter(|| black_box(sct_harness::table2(&results).len()))
     });

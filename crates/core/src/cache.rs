@@ -131,7 +131,7 @@ impl TerminalDigest {
 
 /// Outgoing edge of a trie node.
 #[derive(Debug, Clone, Copy)]
-enum Link {
+pub(crate) enum Link {
     /// The decision leads to another scheduling point.
     Interior(u32),
     /// The decision ends the execution; index into the terminal table.
@@ -140,7 +140,7 @@ enum Link {
 
 /// One memoized scheduling point.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     /// Exactly one thread was enabled: the scheduler has no choice, so only
     /// the pending-operation summary (needed by sleep-set inheritance) and
     /// the single outgoing edge are kept.
@@ -215,11 +215,11 @@ impl RecordedStep {
 /// the module documentation for how the exploration drivers use it.
 #[derive(Debug)]
 pub struct ScheduleCache {
-    nodes: Vec<Node>,
-    terminals: Vec<TerminalDigest>,
-    bytes: u64,
-    max_bytes: u64,
-    full: bool,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) terminals: Vec<TerminalDigest>,
+    pub(crate) bytes: u64,
+    pub(crate) max_bytes: u64,
+    pub(crate) full: bool,
     /// Atomic so [`ScheduleCache::walk`] needs only a shared borrow: under a
     /// shared cache, parallel bound-level workers walk concurrently behind a
     /// read lock and only insertions take the write lock.
@@ -266,6 +266,56 @@ impl ScheduleCache {
     /// Whether the byte cap has been reached (insertions have stopped).
     pub fn is_full(&self) -> bool {
         self.full
+    }
+
+    /// Every buggy schedule memoized in the trie: the full decision path and
+    /// the bug its terminal recorded, in deterministic (path-lexicographic)
+    /// order. This is the raw material of the persistent bug corpus — see
+    /// [`crate::corpus`].
+    pub fn buggy_schedules(&self) -> Vec<(Vec<ThreadId>, Bug)> {
+        let mut found = Vec::new();
+        if self.nodes.is_empty() {
+            return found;
+        }
+        let mut path: Vec<ThreadId> = Vec::new();
+        // Iterative DFS: (node index, next edge ordinal to visit).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            let next = match &self.nodes[node] {
+                Node::Forced { op, next } => {
+                    if *edge == 0 {
+                        next.map(|l| (op.thread, l))
+                    } else {
+                        None
+                    }
+                }
+                Node::Choice { edges, .. } => edges.get(*edge).map(|&(t, l)| (t, l)),
+            };
+            *edge += 1;
+            match next {
+                Some((t, Link::Interior(n))) => {
+                    path.push(t);
+                    stack.push((n as usize, 0));
+                }
+                Some((t, Link::Terminal(d))) => {
+                    let digest = &self.terminals[d as usize];
+                    if digest.is_buggy() {
+                        path.push(t);
+                        found.push((
+                            path.clone(),
+                            digest.bug.clone().expect("buggy digest has a bug"),
+                        ));
+                        path.pop();
+                    }
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        found
     }
 
     /// Walk the trie, feeding the scheduler cached scheduling points, until
@@ -355,6 +405,12 @@ impl ScheduleCache {
     /// `recorded` the point summaries from `miss_depth` on (the prefix below
     /// `miss_depth` is already in the trie — or, under a shared cache, may
     /// have been inserted by another worker in the meantime).
+    ///
+    /// The byte cap is checked after every charged node, not once per suffix:
+    /// the moment the estimate reaches `max_bytes` the insert stops, so the
+    /// cache overshoots by at most the node that crossed the line. A
+    /// truncated path (interior nodes without their terminal) is valid trie
+    /// content — walks miss at its end and fall back to a real execution.
     fn insert(
         &mut self,
         schedule: &[ThreadId],
@@ -380,6 +436,10 @@ impl ScheduleCache {
             };
             self.bytes += node_weight(enabled);
             self.nodes.push(node);
+            if self.bytes >= self.max_bytes {
+                self.full = true;
+                return;
+            }
         }
         let mut cursor = 0usize;
         let mut terminal = Some(digest);
@@ -430,13 +490,18 @@ impl ScheduleCache {
                     if let Link::Interior(n) = link {
                         cursor = n as usize;
                     }
+                    if self.bytes >= self.max_bytes {
+                        self.full = true;
+                        if !is_last {
+                            // Truncated: the rest of the suffix (and its
+                            // terminal) is dropped.
+                            return;
+                        }
+                    }
                 }
             }
         }
         self.insertions += 1;
-        if self.bytes >= self.max_bytes {
-            self.full = true;
-        }
     }
 }
 
@@ -600,7 +665,7 @@ pub fn run_begun_schedule(
 /// the parallel `cache_hits` / `cache_bytes` / `executions` statistics are
 /// bit-identical to the serial driver's no matter how the speculative level
 /// workers actually interleaved their (shared, opportunistic) cache use.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheReplay {
     /// Edge lists per node; `None` target marks a terminal edge.
     nodes: Vec<Vec<(ThreadId, Option<u32>)>>,
@@ -618,6 +683,41 @@ impl CacheReplay {
             bytes: 0,
             max_bytes,
             full: false,
+            hits: 0,
+        }
+    }
+
+    /// A structure-only snapshot of an existing cache: same decision paths,
+    /// same byte estimate and fullness, hit counter reset to zero. A driver
+    /// resuming from a loaded corpus replays its own visit stream through
+    /// such a snapshot so its reported `executions` / `cache_hits` /
+    /// `cache_bytes` depend only on the loaded baseline and the (serial)
+    /// visit order — not on how concurrent techniques sharing the live cache
+    /// happened to interleave.
+    pub fn from_cache(cache: &ScheduleCache) -> Self {
+        let nodes = cache
+            .nodes
+            .iter()
+            .map(|node| match node {
+                Node::Forced { op, next } => match next {
+                    None => Vec::new(),
+                    Some(Link::Interior(n)) => vec![(op.thread, Some(*n))],
+                    Some(Link::Terminal(_)) => vec![(op.thread, None)],
+                },
+                Node::Choice { edges, .. } => edges
+                    .iter()
+                    .map(|&(t, link)| match link {
+                        Link::Interior(n) => (t, Some(n)),
+                        Link::Terminal(_) => (t, None),
+                    })
+                    .collect(),
+            })
+            .collect();
+        CacheReplay {
+            nodes,
+            bytes: cache.bytes,
+            max_bytes: cache.max_bytes,
+            full: cache.full,
             hits: 0,
         }
     }
@@ -669,6 +769,10 @@ impl CacheReplay {
             self.nodes.push(Vec::new());
             cursor = 0;
             matched = 0;
+            if self.bytes >= self.max_bytes {
+                self.full = true;
+                return false;
+            }
         }
         for (i, &t) in schedule.iter().enumerate().skip(matched) {
             let is_last = i + 1 == schedule.len();
@@ -682,11 +786,63 @@ impl CacheReplay {
                 self.nodes[cursor].push((t, Some(n)));
                 cursor = n as usize;
             }
-        }
-        if self.bytes >= self.max_bytes {
-            self.full = true;
+            if self.bytes >= self.max_bytes {
+                // Same per-node cap as [`ScheduleCache::insert`]: stop after
+                // the node that crossed the line.
+                self.full = true;
+                break;
+            }
         }
         false
+    }
+}
+
+/// A schedule cache shared across the techniques of one benchmark (and, when
+/// resuming, loaded from a persistent corpus — see [`crate::corpus`]).
+///
+/// The `live` trie is the real memo every driver walks and inserts into; the
+/// `baseline` is a frozen [`CacheReplay`] snapshot taken at construction.
+/// Each corpus-mode driver clones the baseline via [`SharedCache::mirror`]
+/// and replays its own visit stream through the clone, reporting the
+/// mirror's hit/byte counters. Counters therefore depend only on the loaded
+/// baseline and each technique's deterministic visit order, never on how the
+/// techniques' live-cache operations interleaved — the same trick PR 3's
+/// parallel fold uses, lifted one level up.
+#[derive(Debug)]
+pub struct SharedCache {
+    live: RwLock<ScheduleCache>,
+    baseline: CacheReplay,
+}
+
+impl SharedCache {
+    /// Wrap an existing (possibly freshly loaded) cache, freezing its
+    /// current contents as the accounting baseline.
+    pub fn of(cache: ScheduleCache) -> Self {
+        let baseline = CacheReplay::from_cache(&cache);
+        SharedCache {
+            live: RwLock::new(cache),
+            baseline,
+        }
+    }
+
+    /// An empty shared cache with the given byte cap.
+    pub fn new(max_bytes: u64) -> Self {
+        SharedCache::of(ScheduleCache::new(max_bytes))
+    }
+
+    /// The live trie, for walking/inserting behind the lock.
+    pub fn live(&self) -> &RwLock<ScheduleCache> {
+        &self.live
+    }
+
+    /// A fresh accounting mirror seeded with the load-time baseline.
+    pub fn mirror(&self) -> CacheReplay {
+        self.baseline.clone()
+    }
+
+    /// Run `f` on the live trie under the read lock (e.g. to serialize it).
+    pub fn with_live<R>(&self, f: impl FnOnce(&ScheduleCache) -> R) -> R {
+        f(&self.live.read().expect("schedule cache poisoned"))
     }
 }
 
@@ -803,24 +959,116 @@ mod tests {
     #[test]
     fn a_full_cache_stops_growing_but_keeps_serving_and_stays_correct() {
         let prog = figure1();
-        // A one-byte cap: the first insertion overshoots and closes the door.
+        // A one-byte cap: the very first node crosses the line, the insert is
+        // truncated there (no terminal ever lands) and the door closes.
         let mut cache = ScheduleCache::new(1);
         let (plain0, _) = run_level(&prog, 0, false, None);
         let (cached0, _) = run_level(&prog, 0, false, Some(&mut cache));
         assert_eq!(plain0, cached0);
         assert!(cache.is_full());
-        assert_eq!(cache.insertions(), 1, "the cap must stop insertions");
+        assert_eq!(
+            cache.insertions(),
+            0,
+            "a truncated insert must not count as an insertion"
+        );
         let frozen = cache.bytes();
+        assert!(
+            frozen <= 1 + node_weight(1).max(node_weight(8)).max(TERMINAL_BYTES),
+            "cap 1 overshot by more than one node: {frozen}"
+        );
 
         let (plain1, _) = run_level(&prog, 1, false, None);
         let (cached1, _) = run_level(&prog, 1, false, Some(&mut cache));
         assert_eq!(plain1, cached1, "a full cache must still be transparent");
         assert_eq!(cache.bytes(), frozen, "a full cache must not grow");
-        assert_eq!(
-            cache.hits(),
-            1,
-            "the single cached schedule is interior at level 1"
-        );
+        assert_eq!(cache.hits(), 0, "a terminal-less trie has nothing to serve");
+    }
+
+    /// Satellite: the byte cap is enforced per node during insert, so the
+    /// estimate overshoots `max_bytes` by at most the single node that
+    /// crossed the line — for every cap, while staying transparent and with
+    /// the [`CacheReplay`] mirror bit-identical on bytes and hits.
+    #[test]
+    fn tiny_caps_overshoot_by_at_most_one_node_and_mirror_exactly() {
+        let prog = figure1();
+        let config = ExecConfig::all_visible();
+        let (plain, _) = run_level(&prog, 2, false, None);
+        // Largest single charge possible: a choice node over every thread the
+        // program can enable, or a terminal digest.
+        let worst_node = node_weight(8).max(TERMINAL_BYTES);
+        for cap in [1u64, 57, 96, 112, 200, 500, 1_000, 5_000, 20_000] {
+            let mut cache = ScheduleCache::new(cap);
+            let mut replay = CacheReplay::new(cap);
+            let mut exec = Execution::new_shared(&prog, &config);
+            for bound in 0..3u32 {
+                let mut scheduler = BoundedDfs::new(Box::new(DelayBound), bound);
+                while scheduler.begin_execution() {
+                    let (_, trace) = run_begun_schedule(
+                        &mut exec,
+                        &mut scheduler,
+                        CacheHandle::Local(&mut cache),
+                        true,
+                    );
+                    let trace = trace.expect("trace requested");
+                    replay.apply(&trace.schedule, &trace.enabled_counts);
+                }
+            }
+            assert!(
+                cache.bytes() <= cap + worst_node,
+                "cap {cap} overshot: bytes {} > {cap} + {worst_node}",
+                cache.bytes()
+            );
+            assert_eq!(
+                replay.bytes(),
+                cache.bytes(),
+                "mirror bytes drifted at cap {cap}"
+            );
+            assert_eq!(
+                replay.hits(),
+                cache.hits(),
+                "mirror hits drifted at cap {cap}"
+            );
+            // And the capped cache is still transparent.
+            let mut capped = ScheduleCache::new(cap);
+            let (cached, _) = run_level(&prog, 2, false, Some(&mut capped));
+            assert_eq!(plain, cached, "cap {cap} changed observable results");
+        }
+    }
+
+    #[test]
+    fn a_mirror_snapshot_of_a_cache_replays_like_the_cache_it_copied() {
+        let prog = figure1();
+        let mut cache = ScheduleCache::default();
+        let (_, _) = run_level(&prog, 0, false, Some(&mut cache));
+        let shared = SharedCache::of(cache);
+        let mut mirror = shared.mirror();
+        assert_eq!(mirror.hits(), 0, "snapshot must reset the hit counter");
+        assert_eq!(mirror.bytes(), shared.with_live(|c| c.bytes()));
+
+        // Replaying the level-0 visit stream through the snapshot hits every
+        // schedule the live cache can serve and misses the rest, exactly as
+        // the live cache does.
+        let config = ExecConfig::all_visible();
+        let mut exec = Execution::new_shared(&prog, &config);
+        let mut scheduler = BoundedDfs::new(Box::new(DelayBound), 1);
+        let (mut live_hits, mut mirror_hits) = (0u64, 0u64);
+        while scheduler.begin_execution() {
+            let before = shared.with_live(|c| c.hits());
+            let (_, trace) = run_begun_schedule(
+                &mut exec,
+                &mut scheduler,
+                CacheHandle::Shared(shared.live()),
+                true,
+            );
+            live_hits += shared.with_live(|c| c.hits()) - before;
+            let trace = trace.expect("trace requested");
+            if mirror.apply(&trace.schedule, &trace.enabled_counts) {
+                mirror_hits += 1;
+            }
+        }
+        assert!(live_hits > 0, "level 1 must serve the level-0 interior");
+        assert_eq!(mirror_hits, live_hits, "mirror and live cache disagree");
+        assert_eq!(mirror.bytes(), shared.with_live(|c| c.bytes()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! terminal-schedule limit and gather Table-3-style statistics.
 
 use crate::bounds::BoundKind;
-use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun};
+use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun, SharedCache};
 use crate::dfs::BoundedDfs;
 use crate::maple::MapleLikeScheduler;
 use crate::pct::PctScheduler;
@@ -11,9 +11,10 @@ use crate::scheduler::Scheduler;
 use crate::stats::ExplorationStats;
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution, NoopObserver};
+use std::sync::Arc;
 
 /// Limits and switches applied to an exploration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExploreLimits {
     /// Maximum number of terminal schedules to explore (the study uses 10,000).
     pub schedule_limit: u64,
@@ -39,6 +40,15 @@ pub struct ExploreLimits {
     /// techniques ignore the flag (their parallelism is budget sharding, see
     /// [`crate::parallel`]).
     pub steal_workers: usize,
+    /// Campaign mode: a schedule cache shared across the techniques of one
+    /// benchmark (and, when resuming, pre-loaded from a persistent corpus —
+    /// see [`crate::corpus`]). When set, the systematic searches (DFS, IPB,
+    /// IDB) walk and grow this cache instead of a private per-run one, and
+    /// report cache counters through a per-driver [`cache::CacheReplay`]
+    /// mirror seeded from the load-time baseline, so the statistics stay
+    /// deterministic no matter how concurrently-running techniques interleave
+    /// on the live trie. Takes precedence over `cache`.
+    pub shared_cache: Option<Arc<SharedCache>>,
 }
 
 impl Default for ExploreLimits {
@@ -50,6 +60,7 @@ impl Default for ExploreLimits {
             cache: false,
             cache_max_bytes: cache::DEFAULT_CACHE_BYTES,
             steal_workers: 1,
+            shared_cache: None,
         }
     }
 }
@@ -80,6 +91,16 @@ impl ExploreLimits {
     pub fn with_steal_workers(self, steal_workers: usize) -> Self {
         ExploreLimits {
             steal_workers: steal_workers.max(1),
+            ..self
+        }
+    }
+
+    /// The same limits with campaign mode switched on: the systematic
+    /// searches share (and grow) the given cache — typically loaded from a
+    /// persistent corpus — instead of building private ones.
+    pub fn with_shared_cache(self, shared_cache: Option<Arc<SharedCache>>) -> Self {
+        ExploreLimits {
+            shared_cache,
             ..self
         }
     }
@@ -222,6 +243,9 @@ pub fn bounded_dfs(
 ) -> ExplorationStats {
     let mut stats = if limits.steal_workers > 1 {
         crate::steal::explore_bounded_stealing(program, config, kind, bound, limits)
+    } else if let Some(corpus) = limits.shared_cache.clone() {
+        let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
+        explore_dfs_corpus(program, config, &mut scheduler, limits, &corpus, None)
     } else {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         explore_with(program, config, &mut scheduler, limits)
@@ -230,6 +254,93 @@ pub fn bounded_dfs(
     if stats.found_bug() {
         stats.bound_of_first_bug = Some(bound);
     }
+    stats
+}
+
+/// [`explore_with`] in campaign mode: drive one bounded DFS through
+/// [`cache::run_begun_schedule`] against the shared corpus cache, reporting
+/// execution/hit/byte counters through a [`cache::CacheReplay`] mirror
+/// seeded from the load-time baseline (so they are a deterministic function
+/// of the baseline and this driver's own visit stream, independent of what
+/// concurrent techniques do to the live trie).
+///
+/// The exhausted-exactly-at-limit probe and the POR redundant-run drain
+/// replicate [`explore_with`] — but route through the cache, so a drained
+/// schedule the corpus already knows is *served*, not re-executed (the probe
+/// itself never runs the program, in either driver). `digests`, when given,
+/// receives the terminal digest of every counted schedule in visit order.
+pub(crate) fn explore_dfs_corpus(
+    program: &Program,
+    config: &ExecConfig,
+    scheduler: &mut BoundedDfs,
+    limits: &ExploreLimits,
+    corpus: &SharedCache,
+    mut digests: Option<&mut Vec<cache::TerminalDigest>>,
+) -> ExplorationStats {
+    let mut stats = ExplorationStats::new(scheduler.name());
+    let mut exec = Execution::new_shared(program, config);
+    let mut mirror = corpus.mirror();
+    let charge = |mirror: &mut cache::CacheReplay,
+                  stats: &mut ExplorationStats,
+                  trace: Option<cache::VisitTrace>| {
+        let trace = trace.expect("corpus mode requests traces");
+        if !mirror.apply(&trace.schedule, &trace.enabled_counts) {
+            stats.executions += 1;
+        }
+    };
+    while stats.schedules < limits.schedule_limit && scheduler.begin_execution() {
+        let (run, trace) = cache::run_begun_schedule(
+            &mut exec,
+            scheduler,
+            CacheHandle::Shared(corpus.live()),
+            true,
+        );
+        charge(&mut mirror, &mut stats, trace);
+        if scheduler.current_execution_redundant() {
+            continue;
+        }
+        if let Some(out) = digests.as_deref_mut() {
+            out.push(run.digest());
+        }
+        match &run {
+            ScheduleRun::Executed(outcome) => stats.record(outcome),
+            ScheduleRun::Served(digest) => digest.record_into(&mut stats),
+        }
+    }
+    let mut complete = scheduler.is_exhaustive();
+    if !complete && stats.schedules >= limits.schedule_limit && scheduler.can_exhaust() {
+        // Same one-shot probe + redundant-run drain as `explore_with`; see
+        // the commentary there. The drain completes schedules through the
+        // cache, so re-covered interior is served rather than re-executed.
+        let mut drain_budget = limits.schedule_limit;
+        loop {
+            if !scheduler.begin_execution() {
+                complete = scheduler.is_exhaustive();
+                break;
+            }
+            if !limits.por || drain_budget == 0 {
+                break;
+            }
+            drain_budget -= 1;
+            let (_, trace) = cache::run_begun_schedule(
+                &mut exec,
+                scheduler,
+                CacheHandle::Shared(corpus.live()),
+                true,
+            );
+            charge(&mut mirror, &mut stats, trace);
+            if !scheduler.current_execution_redundant() {
+                break;
+            }
+        }
+    }
+    stats.complete = complete;
+    stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit && !stats.complete;
+    let (slept, pruned_by_sleep) = scheduler.sleep_counters();
+    stats.slept = slept;
+    stats.pruned_by_sleep = pruned_by_sleep;
+    stats.cache_hits = mirror.hits();
+    stats.cache_bytes = mirror.bytes();
     stats
 }
 
@@ -261,21 +372,37 @@ pub fn iterative_bounding(
     };
     let mut agg = ExplorationStats::new(label);
     let mut exec = Execution::new_shared(program, config);
-    let mut cache = limits
-        .cache
-        .then(|| ScheduleCache::new(limits.cache_max_bytes));
+    let corpus = limits.shared_cache.clone();
+    let mut mirror = corpus.as_ref().map(|c| c.mirror());
+    let mut cache =
+        (corpus.is_none() && limits.cache).then(|| ScheduleCache::new(limits.cache_max_bytes));
     let mut stopped = false;
     for bound in 0..=limits.max_bound {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut new_at_bound = 0u64;
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
-            let handle = match cache.as_mut() {
-                Some(c) => CacheHandle::Local(c),
-                None => CacheHandle::Off,
+            let handle = match (corpus.as_deref(), cache.as_mut()) {
+                (Some(shared), _) => CacheHandle::Shared(shared.live()),
+                (None, Some(c)) => CacheHandle::Local(c),
+                (None, None) => CacheHandle::Off,
             };
-            let (run, _) = cache::run_begun_schedule(&mut exec, &mut scheduler, handle, false);
-            if matches!(run, ScheduleRun::Executed(_)) {
-                agg.executions += 1;
+            let (run, trace) =
+                cache::run_begun_schedule(&mut exec, &mut scheduler, handle, mirror.is_some());
+            match mirror.as_mut() {
+                // Campaign mode: executions/hits are what the mirror — the
+                // baseline plus this driver's own visit stream — says, not
+                // what the (shared, concurrently mutated) live trie did.
+                Some(m) => {
+                    let t = trace.expect("corpus mode requests traces");
+                    if !m.apply(&t.schedule, &t.enabled_counts) {
+                        agg.executions += 1;
+                    }
+                }
+                None => {
+                    if matches!(run, ScheduleRun::Executed(_)) {
+                        agg.executions += 1;
+                    }
+                }
             }
             if scheduler.current_execution_redundant() {
                 continue;
@@ -330,7 +457,10 @@ pub fn iterative_bounding(
     // without a bug, without covering the space and without exhausting the
     // budget: the search gave up on bounds, not on schedules.
     agg.bound_exhausted = !stopped;
-    if let Some(c) = &cache {
+    if let Some(m) = &mirror {
+        agg.cache_hits = m.hits();
+        agg.cache_bytes = m.bytes();
+    } else if let Some(c) = &cache {
         agg.cache_hits = c.hits();
         agg.cache_bytes = c.bytes();
     }
@@ -354,6 +484,9 @@ pub fn run_technique(
                     u32::MAX,
                     limits,
                 )
+            } else if let Some(corpus) = limits.shared_cache.clone() {
+                let mut scheduler = BoundedDfs::unbounded().with_sleep_sets(limits.por);
+                explore_dfs_corpus(program, config, &mut scheduler, limits, &corpus, None)
             } else {
                 let mut scheduler = BoundedDfs::unbounded().with_sleep_sets(limits.por);
                 explore_with(program, config, &mut scheduler, limits)

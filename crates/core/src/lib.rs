@@ -52,6 +52,7 @@
 
 pub mod bounds;
 pub mod cache;
+pub mod corpus;
 pub mod dfs;
 pub mod explore;
 pub mod maple;
@@ -63,7 +64,10 @@ pub mod stats;
 pub mod steal;
 
 pub use bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
-pub use cache::{CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
+pub use cache::{
+    CacheHandle, CacheReplay, ScheduleCache, ScheduleRun, SharedCache, TerminalDigest,
+};
+pub use corpus::{BugCorpus, BugRecord, Corpus, CorpusError};
 pub use dfs::{BoundedDfs, SubtreeSeed};
 pub use explore::{explore_with, iterative_bounding, ExploreLimits, Technique};
 pub use maple::MapleLikeScheduler;
@@ -80,7 +84,10 @@ pub use steal::{explore_bounded_stealing, explore_bounded_stealing_digests};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
-    pub use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest};
+    pub use crate::cache::{
+        self, CacheHandle, CacheReplay, ScheduleCache, ScheduleRun, SharedCache, TerminalDigest,
+    };
+    pub use crate::corpus::{self, BugCorpus, BugRecord, Corpus, CorpusError};
     pub use crate::dfs::{BoundedDfs, SubtreeSeed};
     pub use crate::explore::{self, explore_with, iterative_bounding, ExploreLimits, Technique};
     pub use crate::maple::MapleLikeScheduler;

@@ -31,7 +31,7 @@
 //!   benchmarks × techniques in the harness instead.
 
 use crate::bounds::BoundKind;
-use crate::cache::{self, CacheHandle, CacheReplay, ScheduleCache, ScheduleRun};
+use crate::cache::{self, CacheHandle, CacheReplay, ScheduleCache, ScheduleRun, SharedCache};
 use crate::dfs::BoundedDfs;
 use crate::explore::{self, ExploreLimits, Technique};
 use crate::scheduler::Scheduler;
@@ -185,7 +185,7 @@ pub fn explore_sharded(
                 let technique = shard_technique(technique, i as u64);
                 let shard_limits = ExploreLimits {
                     schedule_limit: budget,
-                    ..*limits
+                    ..limits.clone()
                 };
                 scope.spawn(move || {
                     explore::run_technique(program, config, technique, &shard_limits)
@@ -229,7 +229,7 @@ pub fn explore_sharded_serial(
             let technique = shard_technique(technique, i as u64);
             let shard_limits = ExploreLimits {
                 schedule_limit: budget,
-                ..*limits
+                ..limits.clone()
             };
             explore::run_technique(program, config, technique, &shard_limits)
         })
@@ -601,12 +601,22 @@ pub fn parallel_iterative_bounding(
     // so sharing only changes how many executions are physically skipped —
     // never a result. The *reported* cache statistics come from `replay`,
     // which the fold drives in bound order to reproduce the serial values.
-    let shared_cache = limits
-        .cache
+    // In corpus mode the shared cache is the loaded corpus trie and the
+    // replay mirror starts from its loaded baseline, so a resumed run folds
+    // pre-loaded hits exactly like the serial driver does.
+    let corpus = limits.shared_cache.clone();
+    let local_cache = (corpus.is_none() && limits.cache)
         .then(|| RwLock::new(ScheduleCache::new(limits.cache_max_bytes)));
-    let mut replay = limits
-        .cache
-        .then(|| CacheReplay::new(limits.cache_max_bytes));
+    let mut replay = match &corpus {
+        Some(shared) => Some(shared.mirror()),
+        None => limits
+            .cache
+            .then(|| CacheReplay::new(limits.cache_max_bytes)),
+    };
+    let shared_cache: Option<&RwLock<ScheduleCache>> = corpus
+        .as_deref()
+        .map(SharedCache::live)
+        .or(local_cache.as_ref());
     let mut bound = 0u32;
     let mut done = false;
     while !done && bound <= limits.max_bound {
@@ -615,7 +625,6 @@ pub fn parallel_iterative_bounding(
             .min(limits.max_bound);
         thread::scope(|scope| {
             let stop = &stop;
-            let shared_cache = shared_cache.as_ref();
             let handles: Vec<_> = (bound..=wave_last)
                 .map(|b| {
                     scope.spawn(move || {

@@ -57,7 +57,9 @@
 //! drain behaviour to the counter, including mid-stream budget cut-offs.
 
 use crate::bounds::BoundKind;
-use crate::cache::{self, CacheHandle, ScheduleCache, ScheduleRun, TerminalDigest, VisitTrace};
+use crate::cache::{
+    self, CacheHandle, ScheduleCache, ScheduleRun, SharedCache, TerminalDigest, VisitTrace,
+};
 use crate::dfs::{BoundedDfs, SubtreeSeed};
 use crate::explore::{self, ExploreLimits};
 use crate::scheduler::Scheduler;
@@ -493,7 +495,18 @@ pub fn explore_bounded_stealing_digests(
     if workers <= 1 || !stealing_sound(kind, limits.por) {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut digests = Vec::new();
-        let stats = explore_serial_digests(program, config, &mut scheduler, limits, &mut digests);
+        let stats = if let Some(corpus) = limits.shared_cache.clone() {
+            explore::explore_dfs_corpus(
+                program,
+                config,
+                &mut scheduler,
+                limits,
+                &corpus,
+                Some(&mut digests),
+            )
+        } else {
+            explore_serial_digests(program, config, &mut scheduler, limits, &mut digests)
+        };
         return (stats, digests);
     }
     let name = BoundedDfs::new(kind.policy(), bound)
@@ -501,6 +514,12 @@ pub fn explore_bounded_stealing_digests(
         .name();
     let mut stats = ExplorationStats::new(name);
     let mut digests = Vec::new();
+    // Campaign mode: workers complete schedules through the shared corpus
+    // trie, and the fold replays the visit stream through a mirror seeded
+    // from the load-time baseline, so executions/hits/bytes match the
+    // serial corpus driver bit for bit (see `explore::explore_dfs_corpus`).
+    let corpus = limits.shared_cache.clone();
+    let mut mirror = corpus.as_ref().map(|c| c.mirror());
     let engine = Engine::new();
     let ctx = WorkerCtx {
         engine: &engine,
@@ -509,8 +528,8 @@ pub fn explore_bounded_stealing_digests(
         kind,
         bound,
         por: limits.por,
-        want_trace: false,
-        cache: None,
+        want_trace: corpus.is_some(),
+        cache: corpus.as_deref().map(SharedCache::live),
         external_stop: None,
     };
     thread::scope(|scope| {
@@ -518,6 +537,18 @@ pub fn explore_bounded_stealing_digests(
             scope.spawn(|| worker(&ctx));
         }
         let mut fold = Fold::new(&engine);
+        // Serial-order execution accounting: without a corpus every folded
+        // item was executed for real; with one, the mirror decides (a visit
+        // the baseline-plus-own-stream cache covers is a hit, not a run).
+        let mut charge = |stats: &mut ExplorationStats, item: &Item| match mirror.as_mut() {
+            Some(m) => {
+                let trace = item.trace.as_ref().expect("corpus mode requests traces");
+                if !m.apply(&trace.schedule, &trace.enabled_counts) {
+                    stats.executions += 1;
+                }
+            }
+            None => stats.executions += 1,
+        };
         let mut complete = false;
         loop {
             if stats.schedules >= limits.schedule_limit {
@@ -529,7 +560,7 @@ pub fn explore_bounded_stealing_digests(
                     break;
                 }
                 Some(item) => {
-                    stats.executions += 1;
+                    charge(&mut stats, &item);
                     stats.slept += item.begin_slept;
                     stats.pruned_by_sleep += item.ran_pruned_by_sleep;
                     if !item.redundant {
@@ -554,11 +585,15 @@ pub fn explore_bounded_stealing_digests(
                     }
                     Some(item) => {
                         if !limits.por || drain_budget == 0 {
+                            // The serial driver only *prepares* this
+                            // execution: charge its begin-phase sleep
+                            // insertions, but neither the mirror nor the
+                            // execution counter sees it.
                             stats.slept += item.begin_slept;
                             break;
                         }
                         drain_budget -= 1;
-                        stats.executions += 1;
+                        charge(&mut stats, &item);
                         stats.slept += item.begin_slept;
                         stats.pruned_by_sleep += item.ran_pruned_by_sleep;
                         if !item.redundant {
@@ -572,6 +607,10 @@ pub fn explore_bounded_stealing_digests(
         stats.hit_schedule_limit = stats.schedules >= limits.schedule_limit && !complete;
         engine.shut_down();
     });
+    if let Some(m) = &mirror {
+        stats.cache_hits = m.hits();
+        stats.cache_bytes = m.bytes();
+    }
     (stats, digests)
 }
 
@@ -802,7 +841,7 @@ mod tests {
     ) -> (ExplorationStats, Vec<TerminalDigest>) {
         let serial = ExploreLimits {
             steal_workers: 1,
-            ..*limits
+            ..limits.clone()
         };
         explore_bounded_stealing_digests(&figure1(), &config(), kind, bound, &serial)
     }
@@ -816,7 +855,7 @@ mod tests {
                 for workers in [2usize, 3, 8] {
                     let stolen = ExploreLimits {
                         steal_workers: workers,
-                        ..lim
+                        ..lim.clone()
                     };
                     let (stats, digests) = explore_bounded_stealing_digests(
                         &figure1(),
@@ -846,7 +885,7 @@ mod tests {
                 let (serial, serial_digests) = serial_reference(kind, bound, &lim);
                 let stolen = ExploreLimits {
                     steal_workers: 4,
-                    ..lim
+                    ..lim.clone()
                 };
                 let (stats, digests) =
                     explore_bounded_stealing_digests(&figure1(), &config(), kind, bound, &stolen);

@@ -12,7 +12,11 @@
 //! serve the interior already covered at lower bound levels from a
 //! decision-prefix memo; `--steal-workers N` splits each systematic search's
 //! own frontier across N work-stealing threads (statistics stay
-//! bit-identical); `--workers N` fans benchmarks × techniques out.
+//! bit-identical); `--workers N` fans benchmarks × techniques out;
+//! `--corpus-dir DIR` persists each benchmark's schedule trie and minimized
+//! bug prefixes as durable artifacts ("campaign mode"), and `--resume` seeds
+//! the run from those artifacts so a killed study picks up where it left off
+//! (see `sct-table replay` for reproducing the recorded bugs).
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
 //! default here is a laptop-friendly 2,000 schedules.
@@ -72,7 +76,7 @@ fn main() {
     };
 
     eprintln!(
-        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}{}",
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}{}{}",
         args.config.schedule_limit,
         args.config.race_runs,
         args.config.seed,
@@ -92,10 +96,22 @@ fn main() {
             format!(", {} steal workers", args.config.steal_workers)
         } else {
             String::new()
+        },
+        match &args.config.corpus_dir {
+            Some(dir) if args.config.resume =>
+                format!(", resuming from corpus {}", dir.display()),
+            Some(dir) => format!(", corpus {}", dir.display()),
+            None => String::new(),
         }
     );
     let started = std::time::Instant::now();
-    let results = run_study(&args.config, args.filter.as_deref());
+    let results = match run_study(&args.config, args.filter.as_deref()) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "finished {} benchmarks in {:.1?}",
         results.benchmarks.len(),

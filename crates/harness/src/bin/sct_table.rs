@@ -1,7 +1,8 @@
-//! `sct-table` — regenerate a single table or figure of the paper.
+//! `sct-table` — regenerate a single table or figure of the paper, or replay
+//! a recorded bug corpus.
 //!
 //! ```text
-//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> [common flags]
+//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|replay> [common flags]
 //! ```
 //!
 //! The common flags are shared with `sct-experiments` (see
@@ -9,16 +10,63 @@
 //! `--steal-workers` behave identically in both binaries. `table1` is pure
 //! metadata and runs instantly; everything else runs the experiment pipeline
 //! (over the filtered subset, if `--filter` is given) before rendering.
+//!
+//! `replay` takes `--corpus-dir DIR` and re-runs every bug prefix recorded
+//! there ("campaign mode" artifacts, see `sct_core::corpus`): each prefix
+//! must reproduce its recorded bug in exactly one program execution, and the
+//! exit status is non-zero if any does not.
 
+use sct_core::corpus::{replay_prefix, Corpus, CorpusError};
 use sct_harness::{
     cli, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
 };
+use sctbench::benchmark_by_name;
+use std::path::Path;
 
 fn usage() -> String {
     format!(
-        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4> {}",
+        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|replay> {}",
         cli::COMMON_USAGE
     )
+}
+
+/// Replay every recorded bug prefix in the corpus directory, each in exactly
+/// one execution. Returns whether all of them reproduced their bug.
+fn replay_corpus(dir: &Path) -> Result<bool, CorpusError> {
+    let corpus = Corpus::open(dir)?;
+    let corpora = corpus.bug_corpora()?;
+    let mut all_reproduced = true;
+    let mut total = 0usize;
+    for bugs in &corpora {
+        let Some(spec) = benchmark_by_name(&bugs.benchmark) else {
+            eprintln!("{}: corpus names an unknown benchmark", bugs.benchmark);
+            all_reproduced = false;
+            continue;
+        };
+        let program = spec.program();
+        for record in &bugs.records {
+            total += 1;
+            let outcome = replay_prefix(&program, &bugs.config, &record.prefix);
+            let reproduced = outcome.bug.as_ref() == Some(&record.bug);
+            println!(
+                "{}: {:?} ({} decisions): {}",
+                bugs.benchmark,
+                record.bug,
+                record.prefix.len(),
+                if reproduced {
+                    "reproduced in 1 execution"
+                } else {
+                    "NOT reproduced"
+                }
+            );
+            all_reproduced &= reproduced;
+        }
+    }
+    println!(
+        "replayed {total} bug prefix(es) from {} corpus file(s)",
+        corpora.len()
+    );
+    Ok(all_reproduced)
 }
 
 fn main() {
@@ -56,11 +104,32 @@ fn main() {
         return;
     }
 
+    if what == "replay" {
+        let Some(dir) = config.corpus_dir.as_deref() else {
+            eprintln!("replay requires --corpus-dir DIR");
+            std::process::exit(2);
+        };
+        match replay_corpus(dir) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     eprintln!(
         "running the pipeline (schedule limit {}, filter {:?})...",
         config.schedule_limit, filter
     );
-    let results = run_study(&config, filter.as_deref());
+    let results = match run_study(&config, filter.as_deref()) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     match what.as_str() {
         "table2" => print!("{}", table2(&results)),
         "table3" => print!("{}", table3(&results)),

@@ -6,11 +6,13 @@
 //! without hand-duplicated match arms that can drift apart.
 
 use crate::pipeline::HarnessConfig;
+use std::path::PathBuf;
 
 /// Usage fragment for the shared study flags, in match order. The binaries
 /// splice this into their usage strings so the flag lists cannot go stale.
 pub const COMMON_USAGE: &str = "[--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR] \
-[--no-race-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] [--steal-workers N]";
+[--no-race-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] [--steal-workers N] \
+[--corpus-dir DIR] [--resume]";
 
 fn value(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<String, String> {
     rest.next()
@@ -27,11 +29,29 @@ where
         .map_err(|e| format!("{name}: {e}"))
 }
 
+/// Like [`parsed`], but rejects zero: a `--schedules 0` or `--race-runs 0`
+/// study would run nothing while exiting cleanly, which is indistinguishable
+/// from a healthy all-pass run in CI logs.
+fn positive<T>(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<T, String>
+where
+    T: std::str::FromStr + Default + PartialEq,
+    T::Err: std::fmt::Display,
+{
+    let parsed: T = parsed(rest, name)?;
+    if parsed == T::default() {
+        return Err(format!(
+            "{name} must be at least 1 (0 would run an empty study that looks clean)"
+        ));
+    }
+    Ok(parsed)
+}
+
 /// Try to consume `arg` (and its value, if it takes one, from `rest`) as one
 /// of the shared study flags, updating `config` / `filter` in place. Returns
 /// `Ok(true)` when the flag was recognised, `Ok(false)` when the caller
 /// should handle it as a binary-specific argument, and `Err` for a missing
-/// or malformed value.
+/// or malformed value. Repeating a flag is allowed and the last occurrence
+/// wins (each match arm overwrites the field).
 pub fn parse_common_flag(
     config: &mut HarnessConfig,
     filter: &mut Option<String>,
@@ -39,8 +59,8 @@ pub fn parse_common_flag(
     rest: &mut dyn Iterator<Item = String>,
 ) -> Result<bool, String> {
     match arg {
-        "--schedules" => config.schedule_limit = parsed(rest, "--schedules")?,
-        "--race-runs" => config.race_runs = parsed(rest, "--race-runs")?,
+        "--schedules" => config.schedule_limit = positive(rest, "--schedules")?,
+        "--race-runs" => config.race_runs = positive(rest, "--race-runs")?,
         "--seed" => config.seed = parsed(rest, "--seed")?,
         "--filter" => *filter = Some(value(rest, "--filter")?),
         "--no-race-phase" => config.use_race_phase = false,
@@ -51,6 +71,8 @@ pub fn parse_common_flag(
         "--steal-workers" => {
             config.steal_workers = parsed::<usize>(rest, "--steal-workers")?.max(1);
         }
+        "--corpus-dir" => config.corpus_dir = Some(PathBuf::from(value(rest, "--corpus-dir")?)),
+        "--resume" => config.resume = true,
         _ => return Ok(false),
     }
     Ok(true)
@@ -59,6 +81,7 @@ pub fn parse_common_flag(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn parse(args: &[&str]) -> Result<(HarnessConfig, Option<String>), String> {
         let mut config = HarnessConfig::default();
@@ -91,6 +114,9 @@ mod tests {
             "3",
             "--steal-workers",
             "8",
+            "--corpus-dir",
+            "corpus",
+            "--resume",
         ])
         .unwrap();
         assert_eq!(config.schedule_limit, 123);
@@ -103,6 +129,39 @@ mod tests {
         assert!(config.cache);
         assert_eq!(config.workers, 3);
         assert_eq!(config.steal_workers, 8);
+        assert_eq!(config.corpus_dir.as_deref(), Some(Path::new("corpus")));
+        assert!(config.resume);
+    }
+
+    #[test]
+    fn zero_schedule_and_race_run_budgets_are_rejected() {
+        let err = parse(&["--schedules", "0"]).unwrap_err();
+        assert!(err.contains("--schedules"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--race-runs", "0"]).unwrap_err();
+        assert!(err.contains("--race-runs"), "{err}");
+    }
+
+    #[test]
+    fn duplicated_flags_are_last_wins() {
+        let (config, filter) = parse(&[
+            "--schedules",
+            "5",
+            "--filter",
+            "first",
+            "--schedules",
+            "9",
+            "--filter",
+            "second",
+            "--corpus-dir",
+            "a",
+            "--corpus-dir",
+            "b",
+        ])
+        .unwrap();
+        assert_eq!(config.schedule_limit, 9);
+        assert_eq!(filter.as_deref(), Some("second"));
+        assert_eq!(config.corpus_dir.as_deref(), Some(Path::new("b")));
     }
 
     #[test]
@@ -145,6 +204,8 @@ mod tests {
             "--schedule-cache",
             "--workers",
             "--steal-workers",
+            "--corpus-dir",
+            "--resume",
         ] {
             assert!(COMMON_USAGE.contains(flag), "{flag} missing from usage");
         }

@@ -1,10 +1,13 @@
 //! The per-benchmark experiment pipeline and the whole-study driver.
 
+use sct_core::corpus::{corpus_key, harvest_bugs, BugCorpus, Corpus, CorpusError};
 use sct_core::stats::ExplorationStats;
-use sct_core::{default_workers, explore, map_indexed, ExploreLimits, Technique};
+use sct_core::{default_workers, explore, map_indexed, ExploreLimits, SharedCache, Technique};
 use sct_race::{race_detection_phase, RacePhaseConfig};
 use sct_runtime::ExecConfig;
 use sctbench::{all_benchmarks, BenchmarkSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Configuration of a study run.
 #[derive(Debug, Clone)]
@@ -43,6 +46,20 @@ pub struct HarnessConfig {
     /// DFS or bound level across cores with bit-identical statistics.
     /// `--steal-workers` on both binaries sets it.
     pub steal_workers: usize,
+    /// Campaign mode: directory the per-benchmark schedule-trie and
+    /// bug-corpus artifacts are written to (see `sct_core::corpus`). `None`
+    /// (the default) keeps the study one-shot. With a directory set, the
+    /// systematic techniques (IPB, IDB, DFS) of each benchmark share one
+    /// trie, bugs are saved as minimized replayable prefixes, and the trie
+    /// is persisted when the benchmark completes.
+    pub corpus_dir: Option<PathBuf>,
+    /// Seed the shared trie from the saved artifact in `corpus_dir` instead
+    /// of starting empty, so a killed or truncated study picks up where it
+    /// left off (schedules the corpus already covers are served, not
+    /// re-executed). Requires `corpus_dir`; a saved artifact recorded under
+    /// a different exploration configuration is a hard error, never a
+    /// silent cold start.
+    pub resume: bool,
 }
 
 impl Default for HarnessConfig {
@@ -57,6 +74,8 @@ impl Default for HarnessConfig {
             por: false,
             cache: false,
             steal_workers: 1,
+            corpus_dir: None,
+            resume: false,
         }
     }
 }
@@ -158,8 +177,15 @@ pub fn study_techniques(config: &HarnessConfig) -> Vec<Technique> {
 }
 
 /// Run the full pipeline (race detection + every technique) on a single
-/// benchmark.
-pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkResult {
+/// benchmark. With [`HarnessConfig::corpus_dir`] set, the benchmark's trie
+/// is loaded (on `resume`) before the techniques run and saved — together
+/// with its harvested, minimized bug corpus — after they finish; corpus
+/// errors (unreadable directory, corrupt or mismatched artifact) abort the
+/// benchmark rather than silently degrading to a cold one-shot run.
+pub fn run_benchmark(
+    spec: &BenchmarkSpec,
+    config: &HarnessConfig,
+) -> Result<BenchmarkResult, CorpusError> {
     let program = spec.program();
 
     // Phase 1: data-race detection (§5 of the paper).
@@ -179,10 +205,29 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
     } else {
         ExecConfig::all_visible()
     };
+    // Campaign mode: one shared trie per benchmark, keyed on the exact
+    // exploration configuration so artifacts from a different visibility /
+    // step-limit setup are rejected on load rather than mixed in.
+    let corpus = match &config.corpus_dir {
+        Some(dir) => Some(Corpus::open(dir)?),
+        None => None,
+    };
+    let key = corpus_key(spec.name, &exec_config);
+    let shared = match &corpus {
+        Some(c) => {
+            let loaded = match config.resume {
+                true => c.load_cache(spec.name, key)?,
+                false => None,
+            };
+            Some(Arc::new(SharedCache::of(loaded.unwrap_or_default())))
+        }
+        None => None,
+    };
     let limits = ExploreLimits::with_schedule_limit(config.schedule_limit)
         .with_por(config.por)
         .with_cache(config.cache)
-        .with_steal_workers(config.steal_workers);
+        .with_steal_workers(config.steal_workers)
+        .with_shared_cache(shared.clone());
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
@@ -191,7 +236,22 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
         stats
     });
 
-    BenchmarkResult {
+    if let (Some(c), Some(shared)) = (&corpus, &shared) {
+        let (saved, records) = shared.with_live(|cache| {
+            (
+                c.save_cache(spec.name, key, cache),
+                harvest_bugs(&program, &exec_config, cache),
+            )
+        });
+        saved?;
+        c.save_bugs(&BugCorpus {
+            benchmark: spec.name.to_string(),
+            config: exec_config.clone(),
+            records,
+        })?;
+    }
+
+    Ok(BenchmarkResult {
         id: spec.id,
         name: spec.name.to_string(),
         suite: spec.suite.name().to_string(),
@@ -199,7 +259,7 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
         racy_locations: racy.len(),
         techniques,
         paper: spec.paper,
-    }
+    })
 }
 
 /// Run the whole study over all 52 benchmarks (or a filtered subset),
@@ -210,7 +270,10 @@ pub fn run_benchmark(spec: &BenchmarkSpec, config: &HarnessConfig) -> BenchmarkR
 /// benchmark when workers outnumber benchmarks; every cell runs the same
 /// serial exploration either way, so the results — and their order — are
 /// identical to a `workers == 1` run.
-pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
+pub fn run_study(
+    config: &HarnessConfig,
+    filter: Option<&str>,
+) -> Result<StudyResults, CorpusError> {
     let specs: Vec<BenchmarkSpec> = all_benchmarks()
         .into_iter()
         .filter(|spec| match filter {
@@ -229,13 +292,15 @@ pub fn run_study(config: &HarnessConfig, filter: Option<&str>) -> StudyResults {
     };
     let benchmarks = map_indexed(specs.len(), outer, |i| {
         run_benchmark(&specs[i], &per_benchmark)
-    });
-    StudyResults {
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(StudyResults {
         benchmarks,
         schedule_limit: config.schedule_limit,
         por: config.por,
         cache: config.cache,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -254,13 +319,15 @@ mod tests {
             por: false,
             cache: false,
             steal_workers: 1,
+            corpus_dir: None,
+            resume: false,
         }
     }
 
     #[test]
     fn pipeline_runs_a_single_benchmark_end_to_end() {
         let spec = benchmark_by_name("CS.account_bad").unwrap();
-        let result = run_benchmark(&spec, &quick_config());
+        let result = run_benchmark(&spec, &quick_config()).unwrap();
         assert_eq!(result.techniques.len(), 5);
         assert_eq!(result.techniques[0].technique, "IPB");
         assert_eq!(result.techniques[1].technique, "IDB");
@@ -278,7 +345,7 @@ mod tests {
         // stack_bad's popper reads shared state without the lock, so the
         // race-detection phase must report races and promote locations.
         let spec = benchmark_by_name("CS.stack_bad").unwrap();
-        let result = run_benchmark(&spec, &quick_config());
+        let result = run_benchmark(&spec, &quick_config()).unwrap();
         assert!(result.races > 0);
         assert!(result.racy_locations > 0);
         assert!(result.found_by("IDB"));
@@ -289,13 +356,13 @@ mod tests {
         let spec = benchmark_by_name("CS.sync01_bad").unwrap();
         let mut cfg = quick_config();
         cfg.use_race_phase = false;
-        let result = run_benchmark(&spec, &cfg);
+        let result = run_benchmark(&spec, &cfg).unwrap();
         assert!(result.found_by("IDB"));
     }
 
     #[test]
     fn study_filter_selects_benchmarks_by_substring() {
-        let results = run_study(&quick_config(), Some("splash2"));
+        let results = run_study(&quick_config(), Some("splash2")).unwrap();
         assert_eq!(results.benchmarks.len(), 3);
         assert!(results
             .benchmarks
@@ -319,8 +386,8 @@ mod tests {
             por: false,
             ..quick_config()
         };
-        let serial = run_study(&serial_cfg, Some("splash2"));
-        let parallel = run_study(&parallel_cfg, Some("splash2"));
+        let serial = run_study(&serial_cfg, Some("splash2")).unwrap();
+        let parallel = run_study(&parallel_cfg, Some("splash2")).unwrap();
         assert_eq!(serial.benchmarks.len(), parallel.benchmarks.len());
         for (s, p) in serial.benchmarks.iter().zip(&parallel.benchmarks) {
             assert_eq!(s.name, p.name);
@@ -335,12 +402,12 @@ mod tests {
         // `--steal-workers` splits each systematic search's own frontier;
         // the per-cell statistics must still be bit-identical to the serial
         // study (the determinism guarantee of `sct_core::steal`).
-        let serial = run_study(&quick_config(), Some("splash2"));
+        let serial = run_study(&quick_config(), Some("splash2")).unwrap();
         let stolen_cfg = HarnessConfig {
             steal_workers: 4,
             ..quick_config()
         };
-        let stolen = run_study(&stolen_cfg, Some("splash2"));
+        let stolen = run_study(&stolen_cfg, Some("splash2")).unwrap();
         assert_eq!(serial.benchmarks.len(), stolen.benchmarks.len());
         for (s, p) in serial.benchmarks.iter().zip(&stolen.benchmarks) {
             assert_eq!(s.techniques, p.techniques, "{}", s.name);
@@ -352,7 +419,7 @@ mod tests {
         let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
         let mut cfg = quick_config();
         cfg.include_pct = true;
-        let result = run_benchmark(&spec, &cfg);
+        let result = run_benchmark(&spec, &cfg).unwrap();
         assert_eq!(result.techniques.len(), 6);
         assert!(result.technique("PCT").is_some());
     }

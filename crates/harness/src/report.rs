@@ -132,8 +132,10 @@ mod tests {
             por: false,
             cache: false,
             steal_workers: 1,
+            corpus_dir: None,
+            resume: false,
         };
-        let results = run_study(&config, Some("splash2"));
+        let results = run_study(&config, Some("splash2")).unwrap();
         let md = experiments_markdown(&results);
         for needle in [
             "# EXPERIMENTS",

@@ -247,8 +247,10 @@ mod tests {
             por: false,
             cache: false,
             steal_workers: 1,
+            corpus_dir: None,
+            resume: false,
         };
-        run_study(&config, Some("splash2"))
+        run_study(&config, Some("splash2")).unwrap()
     }
 
     #[test]

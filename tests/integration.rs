@@ -168,10 +168,12 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         por: false,
         cache: false,
         steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
     };
-    let mut results = run_study(&config, Some("splash2"));
-    let more = run_study(&config, Some("CS.din_phil"));
-    let cs = run_study(&config, Some("CS.reorder_3"));
+    let mut results = run_study(&config, Some("splash2")).unwrap();
+    let more = run_study(&config, Some("CS.din_phil")).unwrap();
+    let cs = run_study(&config, Some("CS.reorder_3")).unwrap();
     results.benchmarks.extend(more.benchmarks);
     results.benchmarks.extend(cs.benchmarks);
     assert_eq!(results.benchmarks.len(), 3 + 6 + 1);
@@ -448,7 +450,7 @@ fn differential_cached_iterative_bounding_matches_uncached_on_sctbench() {
     // performing fewer real executions wherever the search climbs past one
     // bound level, and strictly fewer on at least three benchmarks per kind.
     let lim = limits(1_000);
-    let cached_lim = lim.with_cache(true);
+    let cached_lim = lim.clone().with_cache(true);
     for kind in [BoundKind::Preemption, BoundKind::Delay] {
         let mut strictly_reduced = Vec::new();
         for name in CACHE_DIFFERENTIAL_BENCHMARKS {
@@ -644,6 +646,8 @@ fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
         por: false,
         cache: false,
         steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
     };
     let cache_cfg = HarnessConfig {
         cache: true,
@@ -651,8 +655,8 @@ fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
     };
     for name in ["CS.reorder_4_bad", "CS.twostage_bad"] {
         let spec = benchmark_by_name(name).unwrap();
-        let plain = sct::harness::pipeline::run_benchmark(&spec, &base);
-        let cached = sct::harness::pipeline::run_benchmark(&spec, &cache_cfg);
+        let plain = sct::harness::pipeline::run_benchmark(&spec, &base).unwrap();
+        let cached = sct::harness::pipeline::run_benchmark(&spec, &cache_cfg).unwrap();
         for label in ["IPB", "IDB", "DFS", "Rand", "MapleAlg"] {
             let p = plain.technique(label).unwrap();
             let c = cached.technique(label).unwrap();
@@ -693,6 +697,8 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         por: false,
         cache: false,
         steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
     };
     let por_cfg = HarnessConfig {
         por: true,
@@ -700,8 +706,8 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
     };
     for name in ["CS.reorder_3_bad", "misc.ctrace-test"] {
         let spec = benchmark_by_name(name).unwrap();
-        let plain = sct::harness::pipeline::run_benchmark(&spec, &base);
-        let por = sct::harness::pipeline::run_benchmark(&spec, &por_cfg);
+        let plain = sct::harness::pipeline::run_benchmark(&spec, &base).unwrap();
+        let por = sct::harness::pipeline::run_benchmark(&spec, &por_cfg).unwrap();
         for label in ["IPB", "IDB", "DFS", "Rand", "MapleAlg"] {
             assert_eq!(
                 plain.found_by(label),
@@ -767,7 +773,7 @@ fn stolen_frontier_techniques_are_bit_identical_to_the_serial_driver() {
                         &program,
                         &config,
                         technique,
-                        &base.with_steal_workers(workers),
+                        &base.clone().with_steal_workers(workers),
                     );
                     assert_eq!(
                         serial,
@@ -807,7 +813,7 @@ fn stolen_frontier_preserves_bug_sets_and_terminal_fingerprints() {
                     &config,
                     kind,
                     bound,
-                    &base.with_steal_workers(1),
+                    &base.clone().with_steal_workers(1),
                 );
                 for &workers in &worker_counts {
                     let (stolen_stats, stolen_digests) = explore_bounded_stealing_digests(
@@ -815,7 +821,7 @@ fn stolen_frontier_preserves_bug_sets_and_terminal_fingerprints() {
                         &config,
                         kind,
                         bound,
-                        &base.with_steal_workers(workers),
+                        &base.clone().with_steal_workers(workers),
                     );
                     assert_eq!(
                         serial_stats, stolen_stats,
@@ -841,4 +847,328 @@ fn stolen_frontier_preserves_bug_sets_and_terminal_fingerprints() {
         buggy_streams >= 4,
         "only {buggy_streams} configurations produced a bug; the suite went vacuous"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Persistent schedule corpus ("campaign mode"): the resume differential.
+// ---------------------------------------------------------------------------
+
+/// A scratch corpus directory unique to this test process and test name.
+fn scratch_corpus_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sct-corpus-it-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One campaign-mode run of `technique`: seed the shared trie from `seed`
+/// (serialized corpus bytes, or `None` for a cold start), explore, and hand
+/// back the statistics together with the trie serialized exactly as
+/// `Corpus::save_cache` would write it.
+fn campaign_run(
+    program: &sct::ir::Program,
+    config: &ExecConfig,
+    technique: Technique,
+    base: &ExploreLimits,
+    key: u64,
+    seed: Option<&[u8]>,
+) -> (sct::core::ExplorationStats, Vec<u8>) {
+    let cache = match seed {
+        Some(bytes) => corpus::cache_from_bytes(bytes, key, std::path::Path::new("<mem>"))
+            .expect("a trie saved by campaign_run must load back"),
+        None => ScheduleCache::default(),
+    };
+    let shared = std::sync::Arc::new(SharedCache::of(cache));
+    let lim = base.clone().with_shared_cache(Some(shared.clone()));
+    let stats = explore::run_technique(program, config, technique, &lim);
+    let saved = shared.with_live(|cache| corpus::cache_to_bytes(cache, key));
+    (stats, saved)
+}
+
+#[test]
+fn corpus_resume_is_bit_identical_to_the_cold_run_with_strictly_fewer_executions() {
+    // The tentpole oracle: a run resumed from a saved trie must report the
+    // exact statistics of the cold campaign run — which itself must match
+    // the corpus-less driver — while every execution the resume skips
+    // reappears as a cache hit. Because these spaces are fully covered by
+    // the cold run, the resume must execute *nothing*; and since it learns
+    // nothing new, re-saving the trie must reproduce the artifact
+    // byte-for-byte. Holds for DFS/IPB/IDB × por × budget truncation at
+    // every steal-worker count.
+    let worker_counts = differential_worker_counts();
+    let techniques = [
+        Technique::Dfs,
+        Technique::IterativePreemptionBounding,
+        Technique::IterativeDelayBounding,
+    ];
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        let key = corpus::corpus_key(name, &config);
+        for technique in techniques {
+            for (schedule_limit, por) in [(7u64, false), (2_000, false), (2_000, true)] {
+                let base = limits(schedule_limit).with_por(por);
+                let plain = explore::run_technique(&program, &config, technique, &base);
+                for &workers in &worker_counts {
+                    let lim = base.clone().with_steal_workers(workers);
+                    let (cold, saved) = campaign_run(&program, &config, technique, &lim, key, None);
+                    let ctx = format!(
+                        "{name}: {} at limit {schedule_limit}, por={por}, {workers} steal workers",
+                        technique.label()
+                    );
+                    assert_eq!(
+                        sans_cache_counters(plain.clone()),
+                        sans_cache_counters(cold.clone()),
+                        "{ctx}: campaign mode changed the cold run"
+                    );
+                    let (resumed, resaved) =
+                        campaign_run(&program, &config, technique, &lim, key, Some(&saved));
+                    assert_eq!(
+                        sans_cache_counters(cold.clone()),
+                        sans_cache_counters(resumed.clone()),
+                        "{ctx}: resuming changed the statistics"
+                    );
+                    assert_eq!(
+                        resumed.executions + resumed.cache_hits,
+                        cold.executions + cold.cache_hits,
+                        "{ctx}: skipped executions must reappear as cache hits"
+                    );
+                    assert!(cold.executions > 0, "{ctx}: the cold run executed nothing");
+                    assert_eq!(
+                        resumed.executions, 0,
+                        "{ctx}: the saved trie covers this run, yet the resume re-executed"
+                    );
+                    // The artifact is a fixed point of resume wherever its
+                    // content is deterministic: always in the serial driver,
+                    // and for stolen runs whenever the space was covered. (A
+                    // *truncated* stolen run also stores whatever its workers
+                    // speculatively completed beyond the budget — a timing-
+                    // dependent superset that the statistics, which fold only
+                    // the counted prefix, are insulated from.)
+                    if workers == 1 || cold.complete {
+                        assert_eq!(
+                            saved, resaved,
+                            "{ctx}: re-saving after a covered resume changed the artifact"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_answers_the_exhausted_at_limit_probe_without_executing() {
+    // Satellite bugfix pin: when the budget runs out exactly as the space
+    // does, a one-shot probe decides between `complete` and
+    // `hit_schedule_limit`. On a resumed run the loaded trie can answer
+    // every schedule — including the POR drain the probe may trigger — so
+    // the resume must reach the same verdict as the cold run with zero
+    // executions, both at the exact budget and one schedule under it.
+    for name in ["CS.din_phil2_sat", "CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        let key = corpus::corpus_key(name, &config);
+        for por in [false, true] {
+            let exhaustive = explore::run_technique(
+                &program,
+                &config,
+                Technique::Dfs,
+                &limits(500_000).with_por(por),
+            );
+            assert!(exhaustive.complete, "{name}: pick a tractable benchmark");
+            let n = exhaustive.schedules;
+            for budget in [n, n - 1] {
+                let base = limits(budget).with_por(por);
+                let (cold, saved) =
+                    campaign_run(&program, &config, Technique::Dfs, &base, key, None);
+                let (resumed, _) =
+                    campaign_run(&program, &config, Technique::Dfs, &base, key, Some(&saved));
+                let ctx = format!("{name}: por={por}, budget {budget} of {n}");
+                assert_eq!(
+                    cold.complete,
+                    budget == n,
+                    "{ctx}: the exact budget must be complete, one under it truncated"
+                );
+                assert_eq!(cold.hit_schedule_limit, budget != n, "{ctx}");
+                assert_eq!(
+                    sans_cache_counters(cold.clone()),
+                    sans_cache_counters(resumed.clone()),
+                    "{ctx}: the resumed probe changed the verdict"
+                );
+                assert_eq!(
+                    resumed.executions, 0,
+                    "{ctx}: the probe/drain re-executed despite a covering corpus"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_resume_preserves_the_terminal_digest_stream() {
+    // Below the statistics: the resumed run must serve the *same schedules
+    // in the same order*, so the stream of terminal digests of counted
+    // schedules — bug or terminal-state fingerprint, in visit order — is
+    // identical to both the cold campaign stream and the corpus-less stream,
+    // serial and stolen.
+    let worker_counts = differential_worker_counts();
+    for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        let key = corpus::corpus_key(name, &config);
+        for (kind, bound) in [
+            (BoundKind::None, u32::MAX),
+            (BoundKind::Preemption, 2),
+            (BoundKind::Delay, 1),
+        ] {
+            for por in [false, true] {
+                let base = limits(2_000).with_por(por);
+                let (_, reference) =
+                    explore_bounded_stealing_digests(&program, &config, kind, bound, &base);
+                for &workers in &worker_counts {
+                    let lim = base.clone().with_steal_workers(workers);
+                    let cold_shared =
+                        std::sync::Arc::new(SharedCache::of(ScheduleCache::default()));
+                    let (cold_stats, cold_digests) = explore_bounded_stealing_digests(
+                        &program,
+                        &config,
+                        kind,
+                        bound,
+                        &lim.clone().with_shared_cache(Some(cold_shared.clone())),
+                    );
+                    let saved = cold_shared.with_live(|c| corpus::cache_to_bytes(c, key));
+                    let loaded =
+                        corpus::cache_from_bytes(&saved, key, std::path::Path::new("<mem>"))
+                            .unwrap();
+                    let (resumed_stats, resumed_digests) = explore_bounded_stealing_digests(
+                        &program,
+                        &config,
+                        kind,
+                        bound,
+                        &lim.clone()
+                            .with_shared_cache(Some(std::sync::Arc::new(SharedCache::of(loaded)))),
+                    );
+                    let ctx = format!("{name}: {kind:?}({bound}) por={por}, {workers} workers");
+                    assert_eq!(reference, cold_digests, "{ctx}: cold digest stream");
+                    assert_eq!(
+                        cold_digests, resumed_digests,
+                        "{ctx}: resumed digest stream"
+                    );
+                    assert_eq!(
+                        sans_cache_counters(cold_stats),
+                        sans_cache_counters(resumed_stats.clone()),
+                        "{ctx}: stats"
+                    );
+                    assert_eq!(resumed_stats.executions, 0, "{ctx}: resume re-executed");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn harness_campaign_mode_persists_resumes_and_replays() {
+    // End-to-end through the harness: `--corpus-dir` must write a trie and a
+    // minimized bug corpus per benchmark, `--resume` must reproduce every
+    // study row bit-for-bit (modulo the cache counters) while the systematic
+    // techniques execute strictly less, every recorded bug prefix must
+    // reproduce its bug in exactly one execution, and resuming under a
+    // different exploration configuration must be a hard error rather than a
+    // silent cold start.
+    let dir = scratch_corpus_dir("harness");
+    let base = HarnessConfig {
+        schedule_limit: 400,
+        race_runs: 3,
+        seed: 7,
+        use_race_phase: false,
+        include_pct: false,
+        workers: 2,
+        por: false,
+        cache: false,
+        steal_workers: 1,
+        corpus_dir: Some(dir.clone()),
+        resume: false,
+    };
+    for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let cold = sct::harness::pipeline::run_benchmark(&spec, &base).unwrap();
+
+        // Both artifacts exist, and every recorded bug prefix replays to its
+        // recorded bug in exactly one execution.
+        let corpus_dir = Corpus::open(&dir).unwrap();
+        assert!(
+            corpus_dir.cache_path(name).exists(),
+            "{name}: no trie saved"
+        );
+        let bugs = corpus_dir
+            .load_bugs(name)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name}: no bug corpus saved"));
+        assert!(!bugs.records.is_empty(), "{name}: bug corpus is empty");
+        let program = spec.program();
+        for record in &bugs.records {
+            let outcome = corpus::replay_prefix(&program, &bugs.config, &record.prefix);
+            assert_eq!(
+                outcome.bug.as_ref(),
+                Some(&record.bug),
+                "{name}: a minimized prefix of {} decisions failed to replay its bug",
+                record.prefix.len()
+            );
+        }
+
+        // Resume: identical rows, strictly cheaper systematic techniques.
+        let resumed = sct::harness::pipeline::run_benchmark(
+            &spec,
+            &HarnessConfig {
+                resume: true,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        for label in ["IPB", "IDB", "DFS", "Rand", "MapleAlg"] {
+            let c = cold.technique(label).unwrap();
+            let r = resumed.technique(label).unwrap();
+            assert_eq!(
+                sans_cache_counters(c.clone()),
+                sans_cache_counters(r.clone()),
+                "{name}: {label} row changed under --resume"
+            );
+        }
+        for label in ["IPB", "IDB", "DFS"] {
+            let c = cold.technique(label).unwrap();
+            let r = resumed.technique(label).unwrap();
+            assert_eq!(
+                r.executions + r.cache_hits,
+                c.executions + c.cache_hits,
+                "{name}: {label} lost executions instead of converting them to hits"
+            );
+            assert!(
+                r.executions < c.executions,
+                "{name}: {label} resume saved nothing ({} vs {} executions)",
+                r.executions,
+                c.executions
+            );
+        }
+        // Techniques outside the trie are untouched by the corpus.
+        assert_eq!(cold.technique("Rand"), resumed.technique("Rand"), "{name}");
+
+        // A different execution configuration fingerprints differently:
+        // resuming against it must refuse, not silently start cold.
+        let mismatched = sct::harness::pipeline::run_benchmark(
+            &spec,
+            &HarnessConfig {
+                use_race_phase: true,
+                resume: true,
+                ..base.clone()
+            },
+        );
+        assert!(
+            matches!(mismatched, Err(CorpusError::KeyMismatch { .. })),
+            "{name}: resuming under a different config must fail with KeyMismatch, got {mismatched:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
