@@ -1,0 +1,262 @@
+//! May-happen-in-parallel model over templates and spawn sites.
+//!
+//! Threads are instantiated from templates by `Spawn` instructions, so the
+//! static picture of "which code can run concurrently" is driven by spawn
+//! sites: an instruction of template `B` can overlap an instruction at
+//! `(A, pc)` if some spawn site able to (transitively) create a `B` instance
+//! either lives in a third template, or lives in `A` at a site from which
+//! `pc` is still reachable. Two instructions of the *same* template overlap
+//! only when two instances of that template can be alive at once (two spawn
+//! sites, a spawn site on a loop, or a spawn site in a template that is
+//! itself multiply instantiated).
+//!
+//! Everything here over-approximates: join edges, barriers and semaphore
+//! hand-offs are ignored, which only ever *adds* may-happen-in-parallel
+//! pairs. That is the direction soundness needs — the race-candidate set
+//! must cover everything the dynamic detector can observe.
+
+use crate::lockset::TemplateFacts;
+use sct_ir::{Loc, Op, Program};
+
+/// A spawn site: `pc` within `template` (both as raw indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnSite {
+    /// Template the spawn instruction lives in.
+    pub template: usize,
+    /// Instruction index of the spawn.
+    pub pc: usize,
+}
+
+/// The may-happen-in-parallel relation.
+#[derive(Debug, Clone)]
+pub struct Concurrency {
+    /// `live[t]`: an instance of template `t` can exist in some execution.
+    live: Vec<bool>,
+    /// `multi[t]`: two instances of template `t` can be alive at once.
+    multi: Vec<bool>,
+    /// `sites[t]`: reachable spawn sites whose transitive spawn closure
+    /// contains `t`.
+    sites: Vec<Vec<SpawnSite>>,
+}
+
+fn reachable_spawns(program: &Program, facts: &[TemplateFacts], t: usize) -> Vec<(usize, usize)> {
+    program.templates[t]
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(pc, _)| facts[t].cfg.is_reachable(*pc))
+        .filter_map(|(pc, instr)| match instr.op() {
+            Some(Op::Spawn { template, .. }) => Some((pc, template.index())),
+            _ => None,
+        })
+        .collect()
+}
+
+impl Concurrency {
+    /// Build the relation for a program whose per-template facts are already
+    /// computed.
+    pub fn build(program: &Program, facts: &[TemplateFacts]) -> Concurrency {
+        let n = program.templates.len();
+        let main = program.main.index();
+
+        // Templates reachable from main through reachable spawn sites.
+        let mut live = vec![false; n];
+        live[main] = true;
+        let mut stack = vec![main];
+        while let Some(t) = stack.pop() {
+            for (_, target) in reachable_spawns(program, facts, t) {
+                if !live[target] {
+                    live[target] = true;
+                    stack.push(target);
+                }
+            }
+        }
+
+        // closure[t]: templates transitively instantiable once a `t` thread
+        // starts (including `t` itself).
+        let mut closure: Vec<Vec<bool>> = Vec::with_capacity(n);
+        for d in 0..n {
+            let mut c = vec![false; n];
+            c[d] = true;
+            let mut stack = vec![d];
+            while let Some(t) = stack.pop() {
+                for (_, target) in reachable_spawns(program, facts, t) {
+                    if !c[target] {
+                        c[target] = true;
+                        stack.push(target);
+                    }
+                }
+            }
+            closure.push(c);
+        }
+
+        // sites[b]: spawn sites in live templates able to create a `b`.
+        let mut sites: Vec<Vec<SpawnSite>> = vec![Vec::new(); n];
+        for (c, c_live) in live.iter().enumerate() {
+            if !c_live {
+                continue;
+            }
+            for (pc, target) in reachable_spawns(program, facts, c) {
+                for (b, site_list) in sites.iter_mut().enumerate() {
+                    if closure[target][b] {
+                        site_list.push(SpawnSite { template: c, pc });
+                    }
+                }
+            }
+        }
+
+        // multi[b]: two instances at once. Fixpoint because a multiply-
+        // instantiated spawner multiplies everything it spawns.
+        let mut multi = vec![false; n];
+        loop {
+            let mut changed = false;
+            for b in 0..n {
+                if multi[b] || !live[b] {
+                    continue;
+                }
+                let m = sites[b].len() >= 2
+                    || sites[b]
+                        .iter()
+                        .any(|s| facts[s.template].cfg.may_reach_after(s.pc, s.pc))
+                    || sites[b].iter().any(|s| multi[s.template]);
+                if m {
+                    multi[b] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Concurrency { live, multi, sites }
+    }
+
+    /// Whether template `t` can be instantiated at all.
+    pub fn live(&self, t: usize) -> bool {
+        self.live[t]
+    }
+
+    /// Whether two instances of template `t` can be alive at once.
+    pub fn multi(&self, t: usize) -> bool {
+        self.multi[t]
+    }
+
+    /// May the instructions at `l1` and `l2` execute concurrently?
+    pub fn mhp(&self, facts: &[TemplateFacts], l1: Loc, l2: Loc) -> bool {
+        let (a, p1) = (l1.template.index(), l1.pc as usize);
+        let (b, p2) = (l2.template.index(), l2.pc as usize);
+        if !self.live[a] || !self.live[b] {
+            return false;
+        }
+        if a == b {
+            return self.multi[a];
+        }
+        // The pair overlaps if a `b` instance can exist while `a` is at
+        // `p1` (a site able to create one lies outside `a`, or inside `a`
+        // at a point from which `p1` is still reachable, or a sibling `a`
+        // instance can do the spawn) — or symmetrically. A disjunction: the
+        // initial thread, for instance, has no spawn sites of its own, yet
+        // everything it spawns runs concurrently with its post-spawn code.
+        let b_during_a = self.multi[a]
+            || self.sites[b]
+                .iter()
+                .any(|s| s.template != a || facts[a].cfg.may_reach_after(s.pc, p1));
+        let a_during_b = self.multi[b]
+            || self.sites[a]
+                .iter()
+                .any(|s| s.template != b || facts[b].cfg.may_reach_after(s.pc, p2));
+        b_during_a || a_during_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockset::{imprecise_bases, program_facts};
+    use sct_ir::prelude::*;
+    use sct_ir::{Loc, TemplateId};
+
+    fn loc(t: TemplateId, pc: u32) -> Loc {
+        Loc { template: t, pc }
+    }
+
+    fn first_pc(program: &sct_ir::Program, t: TemplateId, pred: impl Fn(&Op) -> bool) -> u32 {
+        program.templates[t.index()]
+            .body
+            .iter()
+            .position(|i| i.op().is_some_and(&pred))
+            .expect("op present") as u32
+    }
+
+    #[test]
+    fn accesses_after_spawn_overlap_the_child() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let child = p.thread("child", |b| {
+            b.store(g, 1);
+        });
+        let main = p.main(move |b| {
+            b.store(g, 2); // before the spawn: cannot overlap the child
+            b.spawn(child);
+            b.store(g, 3); // after the spawn: can overlap
+        });
+        let program = p.build().unwrap();
+        let facts = program_facts(&program, &imprecise_bases(&program));
+        let conc = Concurrency::build(&program, &facts);
+
+        let child_store = loc(
+            child,
+            first_pc(&program, child, |o| matches!(o, Op::Store { .. })),
+        );
+        let stores: Vec<u32> = program.templates[main.index()]
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op(), Some(Op::Store { .. })))
+            .map(|(pc, _)| pc as u32)
+            .collect();
+        assert!(!conc.mhp(&facts, loc(main, stores[0]), child_store));
+        assert!(conc.mhp(&facts, loc(main, stores[1]), child_store));
+        assert!(!conc.multi(child.index()));
+    }
+
+    #[test]
+    fn spawn_in_loop_makes_template_self_concurrent() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let child = p.thread("child", |b| {
+            b.store(g, 1);
+        });
+        p.main(move |b| {
+            b.for_range("i", 0, 3, |b, _| {
+                b.spawn(child);
+            });
+        });
+        let program = p.build().unwrap();
+        let facts = program_facts(&program, &imprecise_bases(&program));
+        let conc = Concurrency::build(&program, &facts);
+        assert!(conc.multi(child.index()));
+        let s = loc(
+            child,
+            first_pc(&program, child, |o| matches!(o, Op::Store { .. })),
+        );
+        assert!(conc.mhp(&facts, s, s), "two instances of the same template");
+    }
+
+    #[test]
+    fn unspawned_template_is_dead() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let orphan = p.thread("orphan", |b| {
+            b.store(g, 1);
+        });
+        p.main(|b| {
+            b.store(g, 2);
+        });
+        let program = p.build().unwrap();
+        let facts = program_facts(&program, &imprecise_bases(&program));
+        let conc = Concurrency::build(&program, &facts);
+        assert!(!conc.live(orphan.index()));
+    }
+}

@@ -1,0 +1,388 @@
+//! Lint catalogue and blocking-site inventory.
+//!
+//! These are heuristics layered on the same dataflow facts as the race and
+//! deadlock analyses: cheap, purely static, and deliberately conservative in
+//! what they assert. Together with the lock-order cycles they drive
+//! [`crate::AnalysisReport::flags_deadlock`], whose contract (checked by the
+//! integration oracle) is *no false negatives* against explored
+//! `Bug::Deadlock`s — lost wakeups and semaphore self-blocks show up via the
+//! blocking-site inventory even though they involve no lock cycle.
+
+use crate::conc::Concurrency;
+use crate::lockset::{resolve_node, LockNode, TemplateFacts};
+use crate::races::collect_accesses;
+use sct_ir::{CondvarId, Expr, Loc, MutexId, Op, Program, SemId, TemplateId, VarId};
+use std::collections::BTreeSet;
+
+/// A statically detected code smell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// A mutex is released at a point where it is not (or not certainly)
+    /// held.
+    UnlockUnheld {
+        /// The releasing instruction.
+        loc: Loc,
+        /// The mutex being released.
+        mutex: LockNode,
+        /// `true`: not held on *any* path (double unlock / unlock before
+        /// lock). `false`: held on some paths but not all.
+        on_every_path: bool,
+    },
+    /// A template can reach thread exit while possibly holding locks.
+    LockLeak {
+        /// The leaking template.
+        template: TemplateId,
+        /// Locks possibly still held at exit.
+        held: Vec<LockNode>,
+    },
+    /// One variable is accessed both atomically and non-atomically.
+    MixedAtomicity {
+        /// The variable.
+        var: VarId,
+        /// One atomic access site.
+        atomic_at: Loc,
+        /// One non-atomic access site.
+        non_atomic_at: Loc,
+    },
+    /// A condvar wait with no reachable signal/broadcast on an aliasing
+    /// condvar anywhere in the live program.
+    WaitUnsignalled {
+        /// The wait site.
+        loc: Loc,
+        /// The condvar waited on.
+        condvar: CondvarId,
+    },
+    /// A semaphore down with no reachable up on an aliasing semaphore.
+    SemWaitNeverPosted {
+        /// The down site.
+        loc: Loc,
+        /// The semaphore.
+        sem: SemId,
+    },
+}
+
+/// The kind of a potentially-blocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BlockingKind {
+    /// Condition wait — can block forever on a lost wakeup.
+    CondvarWait,
+    /// Semaphore down — can block forever when no matching up runs.
+    SemWait,
+    /// Barrier wait — can block forever when a participant is missing.
+    BarrierWait,
+}
+
+/// A reachable instruction that can block indefinitely on a condition other
+/// than a mutex acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlockingSite {
+    /// The instruction.
+    pub loc: Loc,
+    /// What it blocks on.
+    pub kind: BlockingKind,
+}
+
+/// Instance index of an indexed sync-object reference, when constant.
+/// `None` in the returned option means "statically unknown instance".
+fn const_index(index: &Option<Expr>) -> Option<i64> {
+    match index {
+        None => Some(0),
+        Some(e) if e.is_constant() => Some(e.eval(&[])),
+        Some(_) => None,
+    }
+}
+
+/// Two (base, instance) references may denote the same object.
+fn alias<I: PartialEq>(a: &(I, Option<i64>), b: &(I, Option<i64>)) -> bool {
+    a.0 == b.0
+        && match (&a.1, &b.1) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        }
+}
+
+fn reachable_live_ops<'p>(
+    program: &'p Program,
+    facts: &'p [TemplateFacts],
+    conc: &'p Concurrency,
+) -> impl Iterator<Item = (Loc, &'p Op)> {
+    program
+        .templates
+        .iter()
+        .enumerate()
+        .filter(move |(ti, _)| conc.live(*ti))
+        .flat_map(move |(ti, t)| {
+            t.body
+                .iter()
+                .enumerate()
+                .filter(move |(pc, _)| facts[ti].cfg.is_reachable(*pc))
+                .filter_map(move |(pc, instr)| {
+                    instr.op().map(|op| {
+                        (
+                            Loc {
+                                template: TemplateId(ti as u32),
+                                pc: pc as u32,
+                            },
+                            op,
+                        )
+                    })
+                })
+        })
+}
+
+/// Collect the full lint catalogue for a program.
+pub fn collect_lints(
+    program: &Program,
+    facts: &[TemplateFacts],
+    conc: &Concurrency,
+    imprecise: &BTreeSet<MutexId>,
+) -> Vec<Lint> {
+    let mut lints: BTreeSet<Lint> = BTreeSet::new();
+
+    // Wake/post inventory for the lost-wakeup lints.
+    let mut signals: Vec<(CondvarId, Option<i64>)> = Vec::new();
+    let mut posts: Vec<(SemId, Option<i64>)> = Vec::new();
+    for (_, op) in reachable_live_ops(program, facts, conc) {
+        match op {
+            Op::Signal { condvar } | Op::Broadcast { condvar } => {
+                signals.push((condvar.base, const_index(&condvar.index)));
+            }
+            Op::SemPost { sem } => posts.push((sem.base, const_index(&sem.index))),
+            _ => {}
+        }
+    }
+
+    for (loc, op) in reachable_live_ops(program, facts, conc) {
+        let (ti, pc) = (loc.template.index(), loc.pc as usize);
+        match op {
+            Op::Unlock { mutex } => {
+                let node = resolve_node(program, imprecise, mutex);
+                if !facts[ti].may[pc].contains(&node) {
+                    lints.insert(Lint::UnlockUnheld {
+                        loc,
+                        mutex: node,
+                        on_every_path: true,
+                    });
+                } else if let LockNode::Instance(i) = node {
+                    if !facts[ti].must[pc].contains(&i) {
+                        lints.insert(Lint::UnlockUnheld {
+                            loc,
+                            mutex: node,
+                            on_every_path: false,
+                        });
+                    }
+                }
+            }
+            Op::Wait { condvar, .. } => {
+                let key = (condvar.base, const_index(&condvar.index));
+                if !signals.iter().any(|s| alias(s, &key)) {
+                    lints.insert(Lint::WaitUnsignalled {
+                        loc,
+                        condvar: condvar.base,
+                    });
+                }
+            }
+            Op::SemWait { sem } => {
+                let key = (sem.base, const_index(&sem.index));
+                if !posts.iter().any(|s| alias(s, &key)) {
+                    lints.insert(Lint::SemWaitNeverPosted { loc, sem: sem.base });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Lock leaks: exit may-set non-empty.
+    for (ti, f) in facts.iter().enumerate() {
+        if conc.live(ti) && !f.exit_may.is_empty() {
+            lints.insert(Lint::LockLeak {
+                template: TemplateId(ti as u32),
+                held: f.exit_may.iter().copied().collect(),
+            });
+        }
+    }
+
+    // Mixed atomicity: one lint per variable, anchored at the first
+    // offending pair in location order.
+    let accesses = collect_accesses(program, facts, conc);
+    let mut flagged: BTreeSet<VarId> = BTreeSet::new();
+    for (i, a) in accesses.iter().enumerate() {
+        if flagged.contains(&a.var) {
+            continue;
+        }
+        for b in &accesses[i + 1..] {
+            if a.var != b.var || a.atomic == b.atomic {
+                continue;
+            }
+            let cells_alias = match (a.cell, b.cell) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            };
+            if !cells_alias {
+                continue;
+            }
+            let (at, nat) = if a.atomic { (a, b) } else { (b, a) };
+            lints.insert(Lint::MixedAtomicity {
+                var: a.var,
+                atomic_at: at.loc,
+                non_atomic_at: nat.loc,
+            });
+            flagged.insert(a.var);
+            break;
+        }
+    }
+
+    lints.into_iter().collect()
+}
+
+/// Inventory every reachable instruction that can block on a condition
+/// other than a lock acquisition.
+pub fn blocking_sites(
+    program: &Program,
+    facts: &[TemplateFacts],
+    conc: &Concurrency,
+) -> Vec<BlockingSite> {
+    let mut out = Vec::new();
+    for (loc, op) in reachable_live_ops(program, facts, conc) {
+        let kind = match op {
+            Op::Wait { .. } => BlockingKind::CondvarWait,
+            Op::SemWait { .. } => BlockingKind::SemWait,
+            Op::BarrierWait { .. } => BlockingKind::BarrierWait,
+            _ => continue,
+        };
+        out.push(BlockingSite { loc, kind });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use sct_ir::prelude::*;
+
+    #[test]
+    fn double_unlock_and_some_path_unlock() {
+        let mut p = ProgramBuilder::new("t");
+        let m = p.mutex("m");
+        let n = p.mutex("n");
+        p.main(move |b| {
+            b.unlock(m); // never held
+            let c = b.local("c");
+            b.if_else(
+                c,
+                |b| {
+                    b.lock(n);
+                },
+                |_| {},
+            );
+            b.unlock(n); // held on one path only
+        });
+        let report = analyze(&p.build().unwrap());
+        let unheld: Vec<&Lint> = report
+            .lints
+            .iter()
+            .filter(|l| matches!(l, Lint::UnlockUnheld { .. }))
+            .collect();
+        assert_eq!(unheld.len(), 2, "{:?}", report.lints);
+        assert!(unheld.iter().any(|l| matches!(
+            l,
+            Lint::UnlockUnheld {
+                on_every_path: true,
+                mutex: LockNode::Instance(0),
+                ..
+            }
+        )));
+        assert!(unheld.iter().any(|l| matches!(
+            l,
+            Lint::UnlockUnheld {
+                on_every_path: false,
+                mutex: LockNode::Instance(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn wait_without_signal_and_sem_without_post() {
+        let mut p = ProgramBuilder::new("t");
+        let m = p.mutex("m");
+        let cv = p.condvar("cv");
+        let s = p.sem("s", 0);
+        let t = p.thread("worker", move |b| {
+            b.lock(m);
+            b.wait(cv, m);
+            b.unlock(m);
+            b.sem_wait(s);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::WaitUnsignalled { .. })));
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::SemWaitNeverPosted { .. })));
+        assert_eq!(report.blocking.len(), 2);
+        assert!(report.flags_deadlock());
+    }
+
+    #[test]
+    fn signalled_wait_is_clean() {
+        let mut p = ProgramBuilder::new("t");
+        let m = p.mutex("m");
+        let cv = p.condvar("cv");
+        let g = p.global("flag", 0);
+        let t = p.thread("worker", move |b| {
+            b.lock(m);
+            let f = b.local("f");
+            b.load(g, f);
+            b.if_else(
+                f,
+                |_| {},
+                |b| {
+                    b.wait(cv, m);
+                },
+            );
+            b.unlock(m);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+            b.lock(m);
+            b.store(g, 1);
+            b.signal(cv);
+            b.unlock(m);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert!(
+            !report
+                .lints
+                .iter()
+                .any(|l| matches!(l, Lint::WaitUnsignalled { .. })),
+            "{:?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn mixed_atomicity_is_one_lint_per_var() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        p.main(move |b| {
+            b.atomic_store(g, 1);
+            b.store(g, 2);
+            b.store(g, 3);
+        });
+        let report = analyze(&p.build().unwrap());
+        let mixed: Vec<&Lint> = report
+            .lints
+            .iter()
+            .filter(|l| matches!(l, Lint::MixedAtomicity { .. }))
+            .collect();
+        assert_eq!(mixed.len(), 1, "{:?}", report.lints);
+    }
+}

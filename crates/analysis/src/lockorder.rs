@@ -1,0 +1,178 @@
+//! Goodlock-style lock-order graph and cycle detection.
+//!
+//! An edge `a -> b` records that some live template may acquire `b` while
+//! already holding `a`. A cycle in this graph is the static signature of an
+//! ABBA deadlock: two threads can interleave their acquisitions so that each
+//! holds a lock the other needs. Condvar `Wait` contributes its
+//! *re-acquisition* edges — every other lock held across the wait is ordered
+//! before the wait mutex — which is exactly the window a woken waiter blocks
+//! in.
+
+use crate::conc::Concurrency;
+use crate::lockset::{resolve_node, LockNode, TemplateFacts};
+use sct_ir::{Loc, MutexId, Op, Program, TemplateId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One acquisition-under-lock fact: at `at`, `to` is acquired while `from`
+/// may be held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockEdge {
+    /// Lock that may already be held.
+    pub from: LockNode,
+    /// Lock being acquired.
+    pub to: LockNode,
+    /// Acquisition site.
+    pub at: Loc,
+}
+
+/// Build the lock-order edges of all live templates.
+pub fn lock_order_edges(
+    program: &Program,
+    facts: &[TemplateFacts],
+    conc: &Concurrency,
+    imprecise: &BTreeSet<MutexId>,
+) -> Vec<LockEdge> {
+    let mut edges: BTreeSet<LockEdge> = BTreeSet::new();
+    for (ti, t) in program.templates.iter().enumerate() {
+        if !conc.live(ti) {
+            continue;
+        }
+        for (pc, instr) in t.body.iter().enumerate() {
+            if !facts[ti].cfg.is_reachable(pc) {
+                continue;
+            }
+            let at = Loc {
+                template: TemplateId(ti as u32),
+                pc: pc as u32,
+            };
+            match instr.op() {
+                Some(Op::Lock { mutex }) => {
+                    let to = resolve_node(program, imprecise, mutex);
+                    for &from in &facts[ti].may[pc] {
+                        edges.insert(LockEdge { from, to, at });
+                    }
+                }
+                Some(Op::Wait { mutex, .. }) => {
+                    // The waiter releases `mutex`, blocks, and re-acquires it
+                    // while every *other* held lock stays held.
+                    let to = resolve_node(program, imprecise, mutex);
+                    for &from in &facts[ti].may[pc] {
+                        if from != to {
+                            edges.insert(LockEdge { from, to, at });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// Strongly-connected components of the edge set that contain a cycle
+/// (size > 1, or a self-loop). Each component is returned as a sorted list
+/// of its nodes; the component list itself is sorted for stable output.
+pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Vec<LockNode>> {
+    let mut adj: BTreeMap<LockNode, BTreeSet<LockNode>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from).or_default().insert(e.to);
+        adj.entry(e.to).or_default();
+    }
+    // Transitive closure per node (graphs here are tiny).
+    let mut closure: BTreeMap<LockNode, BTreeSet<LockNode>> = BTreeMap::new();
+    for &n in adj.keys() {
+        let mut seen: BTreeSet<LockNode> = BTreeSet::new();
+        let mut stack: Vec<LockNode> = adj[&n].iter().copied().collect();
+        while let Some(m) = stack.pop() {
+            if seen.insert(m) {
+                stack.extend(adj[&m].iter().copied());
+            }
+        }
+        closure.insert(n, seen);
+    }
+    let mut cycles: BTreeSet<Vec<LockNode>> = BTreeSet::new();
+    for &n in adj.keys() {
+        if !closure[&n].contains(&n) {
+            continue; // not on any cycle
+        }
+        let component: Vec<LockNode> = closure[&n]
+            .iter()
+            .copied()
+            .filter(|m| closure[m].contains(&n))
+            .collect();
+        cycles.insert(component);
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use sct_ir::prelude::*;
+
+    #[test]
+    fn abba_ordering_is_a_cycle() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.mutex("a");
+        let b = p.mutex("b");
+        let t = p.thread("worker", move |bb| {
+            bb.lock(b);
+            bb.lock(a);
+            bb.unlock(a);
+            bb.unlock(b);
+        });
+        p.main(move |bb| {
+            bb.spawn(t);
+            bb.lock(a);
+            bb.lock(b);
+            bb.unlock(b);
+            bb.unlock(a);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert_eq!(report.lock_cycles.len(), 1);
+        assert_eq!(
+            report.lock_cycles[0],
+            vec![LockNode::Instance(0), LockNode::Instance(1)]
+        );
+    }
+
+    #[test]
+    fn consistent_ordering_has_no_cycle() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.mutex("a");
+        let b = p.mutex("b");
+        let t = p.thread("worker", move |bb| {
+            bb.lock(a);
+            bb.lock(b);
+            bb.unlock(b);
+            bb.unlock(a);
+        });
+        p.main(move |bb| {
+            bb.spawn(t);
+            bb.lock(a);
+            bb.lock(b);
+            bb.unlock(b);
+            bb.unlock(a);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert!(!report.lock_edges.is_empty());
+        assert!(report.lock_cycles.is_empty());
+    }
+
+    #[test]
+    fn self_acquisition_is_a_self_loop_cycle() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.mutex("a");
+        let t = p.thread("worker", move |bb| {
+            bb.lock(a);
+            bb.lock(a); // self-deadlock
+            bb.unlock(a);
+        });
+        p.main(move |bb| {
+            bb.spawn(t);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert_eq!(report.lock_cycles, vec![vec![LockNode::Instance(0)]]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Lockset dataflow: which mutexes are held at each program point.
+//!
+//! Two analyses run over each template CFG in one worklist pass:
+//!
+//! * **Must-locksets** — the intersection over all paths of the mutex
+//!   *instances* certainly held before each instruction. These feed the
+//!   Eraser-style race-candidate check: two accesses whose must-locksets
+//!   share an instance are consistently protected and cannot race.
+//! * **May-locksets** — the union over all paths of the locks possibly held.
+//!   These feed the lock-order graph (which locks might be held when another
+//!   is acquired), the double-unlock lint, and the lock-leak lint.
+//!
+//! `Wait` is modeled as release + block + re-acquire. For the *must* analysis
+//! it is an identity transfer: the runtime re-acquires the wait mutex before
+//! the waiter continues (and the dynamic detector sees that re-acquisition),
+//! so the mutex really does protect the post-wait code. The re-acquisition
+//! still matters for lock *order*: `lockorder` treats `Wait` as an
+//! acquisition of the wait mutex under every other held lock.
+
+use crate::cfg::Cfg;
+use sct_ir::{Instr, MutexId, MutexRef, Op, Program};
+use std::collections::{BTreeSet, VecDeque};
+
+/// A node in the lock universe.
+///
+/// Mutexes declared as arrays and addressed with non-constant indices cannot
+/// be pinned to a single instance statically; such references collapse to
+/// [`LockNode::AnyOf`] over the whole declaration. A declaration is
+/// *canonicalized* — all its references rendered as `AnyOf` — as soon as any
+/// reference to it anywhere in the program is non-constant, so that node
+/// equality is meaningful within the may-sets and the lock-order graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockNode {
+    /// A single mutex instance, as a flattened offset into the program's
+    /// mutex table (see [`Program::mutex_offset`]).
+    Instance(usize),
+    /// Some instance of the given declaration; which one is not statically
+    /// known.
+    AnyOf(MutexId),
+}
+
+impl LockNode {
+    /// Human-readable name, e.g. `forks[2]` or `lock[*]`.
+    pub fn render(&self, program: &Program) -> String {
+        match self {
+            LockNode::Instance(off) => {
+                let mut rem = *off;
+                for m in &program.mutexes {
+                    if rem < m.len as usize {
+                        return if m.len > 1 {
+                            format!("{}[{rem}]", m.name)
+                        } else {
+                            m.name.clone()
+                        };
+                    }
+                    rem -= m.len as usize;
+                }
+                format!("mutex#{off}")
+            }
+            LockNode::AnyOf(id) => {
+                let name = program
+                    .mutexes
+                    .get(id.index())
+                    .map(|m| m.name.as_str())
+                    .unwrap_or("?");
+                format!("{name}[*]")
+            }
+        }
+    }
+}
+
+/// Resolve a mutex reference to a single flattened instance offset, or
+/// `None` when the index is non-constant or out of bounds.
+pub fn resolve_instance(program: &Program, r: &MutexRef) -> Option<usize> {
+    let off = program.mutex_offset(r.base);
+    let len = i64::from(program.mutexes[r.base.index()].len);
+    match &r.index {
+        None => Some(off),
+        Some(e) if e.is_constant() => {
+            let i = e.eval(&[]);
+            (0..len).contains(&i).then(|| off + i as usize)
+        }
+        Some(_) => None,
+    }
+}
+
+/// Mutex declarations with at least one statically unresolvable reference
+/// anywhere in the program. References to these bases are canonicalized to
+/// [`LockNode::AnyOf`] so that set membership and graph node identity agree.
+pub fn imprecise_bases(program: &Program) -> BTreeSet<MutexId> {
+    let mut bases = BTreeSet::new();
+    for t in &program.templates {
+        for instr in &t.body {
+            let Some(op) = instr.op() else { continue };
+            let r = match op {
+                Op::Lock { mutex }
+                | Op::Unlock { mutex }
+                | Op::MutexDestroy { mutex }
+                | Op::Wait { mutex, .. } => mutex,
+                _ => continue,
+            };
+            if resolve_instance(program, r).is_none() {
+                bases.insert(r.base);
+            }
+        }
+    }
+    bases
+}
+
+/// Resolve a mutex reference to its canonical lock node.
+pub fn resolve_node(program: &Program, imprecise: &BTreeSet<MutexId>, r: &MutexRef) -> LockNode {
+    if imprecise.contains(&r.base) {
+        return LockNode::AnyOf(r.base);
+    }
+    match resolve_instance(program, r) {
+        Some(off) => LockNode::Instance(off),
+        None => LockNode::AnyOf(r.base),
+    }
+}
+
+/// Per-template CFG plus the lockset facts at every instruction.
+#[derive(Debug, Clone)]
+pub struct TemplateFacts {
+    /// The template's control-flow graph.
+    pub cfg: Cfg,
+    /// Mutex instances certainly held immediately *before* each instruction.
+    /// Unreachable instructions carry the full universe (vacuous truth).
+    pub must: Vec<BTreeSet<usize>>,
+    /// Lock nodes possibly held immediately *before* each instruction.
+    pub may: Vec<BTreeSet<LockNode>>,
+    /// Union of the may-locksets at every thread exit, after applying the
+    /// exit instruction's own transfer. Non-empty means the template can
+    /// terminate while still holding a lock.
+    pub exit_may: BTreeSet<LockNode>,
+}
+
+fn must_transfer(program: &Program, op: &Op, set: &mut BTreeSet<usize>) {
+    match op {
+        Op::Lock { mutex } => {
+            if let Some(i) = resolve_instance(program, mutex) {
+                set.insert(i);
+            }
+        }
+        Op::Unlock { mutex } | Op::MutexDestroy { mutex } => match resolve_instance(program, mutex)
+        {
+            Some(i) => {
+                set.remove(&i);
+            }
+            None => {
+                // Unknown instance of this declaration: conservatively drop
+                // every instance of the base.
+                let lo = program.mutex_offset(mutex.base);
+                let hi = lo + program.mutexes[mutex.base.index()].len as usize;
+                set.retain(|&i| !(lo..hi).contains(&i));
+            }
+        },
+        // Release + re-acquire nets out to identity for must-held.
+        Op::Wait { .. } => {}
+        _ => {}
+    }
+}
+
+fn may_transfer(
+    program: &Program,
+    imprecise: &BTreeSet<MutexId>,
+    op: &Op,
+    set: &mut BTreeSet<LockNode>,
+) {
+    match op {
+        Op::Lock { mutex } => {
+            set.insert(resolve_node(program, imprecise, mutex));
+        }
+        Op::Unlock { mutex } | Op::MutexDestroy { mutex } => {
+            // Canonicalization makes this exact: every reference to the same
+            // base resolves to the same node.
+            set.remove(&resolve_node(program, imprecise, mutex));
+        }
+        Op::Wait { .. } => {}
+        _ => {}
+    }
+}
+
+/// Run the combined must/may lockset dataflow over one template body.
+pub fn template_facts(
+    program: &Program,
+    imprecise: &BTreeSet<MutexId>,
+    body: &[Instr],
+) -> TemplateFacts {
+    let cfg = Cfg::build(body);
+    let n = body.len();
+    let mut must_in: Vec<Option<BTreeSet<usize>>> = vec![None; n];
+    let mut may_in: Vec<Option<BTreeSet<LockNode>>> = vec![None; n];
+
+    if n > 0 {
+        must_in[0] = Some(BTreeSet::new());
+        may_in[0] = Some(BTreeSet::new());
+        let mut work: VecDeque<usize> = VecDeque::from([0]);
+        while let Some(pc) = work.pop_front() {
+            let mut must_out = must_in[pc].clone().expect("queued pcs have facts");
+            let mut may_out = may_in[pc].clone().expect("queued pcs have facts");
+            if let Some(op) = body[pc].op() {
+                must_transfer(program, op, &mut must_out);
+                may_transfer(program, imprecise, op, &mut may_out);
+            }
+            for &s in cfg.succs(pc) {
+                let mut changed = false;
+                match &mut must_in[s] {
+                    slot @ None => {
+                        *slot = Some(must_out.clone());
+                        changed = true;
+                    }
+                    Some(cur) => {
+                        let meet: BTreeSet<usize> = cur.intersection(&must_out).copied().collect();
+                        if meet.len() != cur.len() {
+                            *cur = meet;
+                            changed = true;
+                        }
+                    }
+                }
+                match &mut may_in[s] {
+                    slot @ None => {
+                        *slot = Some(may_out.clone());
+                        changed = true;
+                    }
+                    Some(cur) => {
+                        let before = cur.len();
+                        cur.extend(may_out.iter().copied());
+                        changed |= cur.len() != before;
+                    }
+                }
+                if changed {
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    // Exit may-locksets: pcs with no successor (Halt, or fall-through past
+    // the end of the body), with the exit instruction's transfer applied.
+    let mut exit_may = BTreeSet::new();
+    for pc in 0..n {
+        if !cfg.succs(pc).is_empty() {
+            continue;
+        }
+        let Some(may) = &may_in[pc] else { continue };
+        let mut out = may.clone();
+        if let Some(op) = body[pc].op() {
+            may_transfer(program, imprecise, op, &mut out);
+        }
+        exit_may.extend(out);
+    }
+
+    let universe: BTreeSet<usize> = (0..program.mutex_instances()).collect();
+    let must = must_in
+        .into_iter()
+        .map(|m| m.unwrap_or_else(|| universe.clone()))
+        .collect();
+    let may = may_in.into_iter().map(Option::unwrap_or_default).collect();
+    TemplateFacts {
+        cfg,
+        must,
+        may,
+        exit_may,
+    }
+}
+
+/// Facts for every template of a program.
+pub fn program_facts(program: &Program, imprecise: &BTreeSet<MutexId>) -> Vec<TemplateFacts> {
+    program
+        .templates
+        .iter()
+        .map(|t| template_facts(program, imprecise, &t.body))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_ir::prelude::*;
+
+    #[test]
+    fn must_lockset_is_path_intersection() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let m = p.mutex("m");
+        let worker = p.thread("worker", |b| {
+            let c = b.local("c");
+            b.if_else(
+                c,
+                |b| {
+                    b.lock(m);
+                },
+                |_| {},
+            );
+            b.store(g, 1); // held on one path only
+            b.lock(m);
+            b.store(g, 2); // held on every path
+            b.unlock(m);
+        });
+        p.main(move |b| {
+            b.spawn(worker);
+        });
+        let program = p.build().unwrap();
+        let imprecise = imprecise_bases(&program);
+        assert!(imprecise.is_empty());
+        let facts = template_facts(
+            &program,
+            &imprecise,
+            &program.templates[worker.index()].body,
+        );
+
+        let store_pcs: Vec<usize> = program.templates[worker.index()]
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op(), Some(Op::Store { .. })))
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(store_pcs.len(), 2);
+        assert!(
+            facts.must[store_pcs[0]].is_empty(),
+            "first store is only conditionally protected"
+        );
+        assert_eq!(
+            facts.must[store_pcs[1]],
+            BTreeSet::from([0]),
+            "second store is protected on every path"
+        );
+        assert!(facts.exit_may.is_empty(), "lock released before exit");
+    }
+
+    #[test]
+    fn non_constant_index_collapses_to_any_of() {
+        let mut p = ProgramBuilder::new("t");
+        let locks = p.mutex_array("locks", 3);
+        let t = p.thread("worker", |b| {
+            let i = b.local("i");
+            b.assign(i, 1);
+            b.lock(locks.at(i));
+            b.unlock(locks.at(i));
+        });
+        p.main(move |b| {
+            b.spawn(t);
+        });
+        let program = p.build().unwrap();
+        let imprecise = imprecise_bases(&program);
+        assert_eq!(imprecise.len(), 1);
+        let facts = template_facts(&program, &imprecise, &program.templates[t.index()].body);
+        let unlock_pc = program.templates[t.index()]
+            .body
+            .iter()
+            .position(|i| matches!(i.op(), Some(Op::Unlock { .. })))
+            .unwrap();
+        assert!(
+            facts.must[unlock_pc].is_empty(),
+            "AnyOf locks never enter the must-set"
+        );
+        assert_eq!(facts.may[unlock_pc].len(), 1);
+        assert!(matches!(
+            facts.may[unlock_pc].iter().next(),
+            Some(LockNode::AnyOf(_))
+        ));
+        assert!(
+            facts.exit_may.is_empty(),
+            "canonical unlock removes the node"
+        );
+    }
+
+    #[test]
+    fn leaked_lock_shows_in_exit_may() {
+        let mut p = ProgramBuilder::new("t");
+        let m = p.mutex("m");
+        let t = p.thread("worker", move |b| {
+            b.lock(m);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+        });
+        let program = p.build().unwrap();
+        let imprecise = imprecise_bases(&program);
+        let facts = template_facts(&program, &imprecise, &program.templates[t.index()].body);
+        assert_eq!(facts.exit_may, BTreeSet::from([LockNode::Instance(0)]));
+    }
+}

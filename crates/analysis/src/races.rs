@@ -1,0 +1,224 @@
+//! Eraser-style static race candidates.
+//!
+//! A pair of shared-memory accesses is a *race candidate* when every static
+//! argument for their ordering fails: they may alias, at least one writes, at
+//! least one is non-atomic, the instructions may happen in parallel, and
+//! their must-locksets share no mutex instance. The set over-approximates
+//! the dynamic detector's reports — see the soundness oracle in
+//! `tests/integration.rs` — and is what `--static-phase` promotes to visible
+//! operations in place of the paper's 10-run dynamic race phase.
+
+use crate::conc::Concurrency;
+use crate::lockset::TemplateFacts;
+use sct_ir::{Loc, Op, Program, TemplateId, VarId, VarRef};
+use std::collections::BTreeSet;
+
+/// A static race candidate: two may-parallel accesses to the same variable
+/// with no common lock, at least one write, at least one non-atomic.
+/// `first <= second` in location order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RaceCandidate {
+    /// The variable both locations access.
+    pub var: VarId,
+    /// Lower location of the pair.
+    pub first: Loc,
+    /// Higher location of the pair (equal to `first` only for a
+    /// self-concurrent access in a multiply-instantiated template).
+    pub second: Loc,
+    /// Whether `first` writes.
+    pub first_is_write: bool,
+    /// Whether `second` writes.
+    pub second_is_write: bool,
+}
+
+/// One shared-memory access site.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    pub loc: Loc,
+    pub var: VarId,
+    /// Flattened global-cell offset when the index is a compile-time
+    /// constant in bounds; `None` means "some cell of `var`".
+    pub cell: Option<usize>,
+    pub write: bool,
+    pub atomic: bool,
+}
+
+fn resolve_cell(program: &Program, var: &VarRef) -> Option<usize> {
+    let off = program.global_offset(var.var);
+    let len = i64::from(program.globals[var.var.index()].len);
+    match &var.index {
+        None => Some(off),
+        Some(e) if e.is_constant() => {
+            let i = e.eval(&[]);
+            (0..len).contains(&i).then(|| off + i as usize)
+        }
+        Some(_) => None,
+    }
+}
+
+/// Every reachable shared-memory access in every live template.
+pub(crate) fn collect_accesses(
+    program: &Program,
+    facts: &[TemplateFacts],
+    conc: &Concurrency,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (ti, t) in program.templates.iter().enumerate() {
+        if !conc.live(ti) {
+            continue;
+        }
+        for (pc, instr) in t.body.iter().enumerate() {
+            if !facts[ti].cfg.is_reachable(pc) {
+                continue;
+            }
+            let Some(op) = instr.op() else { continue };
+            let (var, write, atomic) = match op {
+                Op::Load { var, atomic, .. } => (var, false, *atomic),
+                Op::Store { var, atomic, .. } => (var, true, *atomic),
+                Op::Rmw { var, .. } | Op::Cas { var, .. } => (var, true, true),
+                _ => continue,
+            };
+            out.push(Access {
+                loc: Loc {
+                    template: TemplateId(ti as u32),
+                    pc: pc as u32,
+                },
+                var: var.var,
+                cell: resolve_cell(program, var),
+                write,
+                atomic,
+            });
+        }
+    }
+    out
+}
+
+fn may_alias(a: &Access, b: &Access) -> bool {
+    a.var == b.var
+        && match (a.cell, b.cell) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        }
+}
+
+/// Enumerate all static race candidates.
+pub fn race_candidates(
+    program: &Program,
+    facts: &[TemplateFacts],
+    conc: &Concurrency,
+) -> Vec<RaceCandidate> {
+    let accesses = collect_accesses(program, facts, conc);
+    let mut out: BTreeSet<RaceCandidate> = BTreeSet::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in &accesses[i..] {
+            if !may_alias(a, b) {
+                continue;
+            }
+            if !(a.write || b.write) {
+                continue;
+            }
+            // The dynamic detector never reports a pair whose *both* sides
+            // are atomic (atomics synchronise on their cell), but it does
+            // report atomic/non-atomic pairs — keep those.
+            if a.atomic && b.atomic {
+                continue;
+            }
+            if !conc.mhp(facts, a.loc, b.loc) {
+                continue;
+            }
+            let must_a = &facts[a.loc.template.index()].must[a.loc.pc as usize];
+            let must_b = &facts[b.loc.template.index()].must[b.loc.pc as usize];
+            if must_a.intersection(must_b).next().is_some() {
+                continue;
+            }
+            let (first, second) = if a.loc <= b.loc { (a, b) } else { (b, a) };
+            out.insert(RaceCandidate {
+                var: a.var,
+                first: first.loc,
+                second: second.loc,
+                first_is_write: first.write,
+                second_is_write: second.write,
+            });
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use sct_ir::prelude::*;
+
+    #[test]
+    fn unlocked_concurrent_writes_are_candidates() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let t = p.thread("worker", |b| {
+            b.store(g, 1);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+            b.store(g, 2);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert_eq!(report.candidates.len(), 1);
+        let c = &report.candidates[0];
+        assert!(c.first_is_write && c.second_is_write);
+        assert_eq!(c.var, g);
+    }
+
+    #[test]
+    fn consistent_locking_discipline_suppresses_the_pair() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let m = p.mutex("m");
+        let t = p.thread("worker", move |b| {
+            b.lock(m);
+            b.store(g, 1);
+            b.unlock(m);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+            b.lock(m);
+            b.store(g, 2);
+            b.unlock(m);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert!(report.candidates.is_empty(), "{:?}", report.candidates);
+    }
+
+    #[test]
+    fn atomic_atomic_pairs_are_not_candidates_but_mixed_pairs_are() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("x", 0);
+        let h = p.global("y", 0);
+        let t = p.thread("worker", |b| {
+            b.atomic_store(g, 1);
+            b.atomic_store(h, 1);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+            b.atomic_store(g, 2); // atomic/atomic: ordered by the cell
+            let l = b.local("l");
+            b.load(h, l); // non-atomic read vs atomic write: candidate
+        });
+        let report = analyze(&p.build().unwrap());
+        assert_eq!(report.candidates.len(), 1, "{:?}", report.candidates);
+        assert_eq!(report.candidates[0].var, h);
+    }
+
+    #[test]
+    fn distinct_constant_cells_do_not_alias() {
+        let mut p = ProgramBuilder::new("t");
+        let arr = p.global_array("a", vec![0, 0]);
+        let t = p.thread("worker", |b| {
+            b.store(arr.at(0), 1);
+        });
+        p.main(move |b| {
+            b.spawn(t);
+            b.store(arr.at(1), 2);
+        });
+        let report = analyze(&p.build().unwrap());
+        assert!(report.candidates.is_empty(), "{:?}", report.candidates);
+    }
+}

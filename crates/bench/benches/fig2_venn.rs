@@ -16,6 +16,7 @@ fn bench_fig2(c: &mut Criterion) {
         race_runs: 3,
         seed: 2,
         use_race_phase: true,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,

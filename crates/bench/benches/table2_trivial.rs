@@ -34,6 +34,7 @@ fn bench_table2(c: &mut Criterion) {
         race_runs: 3,
         seed: 1,
         use_race_phase: true,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,

@@ -17,7 +17,8 @@
 //!   one thread is enabled, the overwhelmingly common case);
 //! * a **terminal node** stores a [`TerminalDigest`]: the bug
 //!   classification, final-state fingerprint, preemption/delay costs and the
-//!   summary statistics [`ExplorationStats::record`] needs.
+//!   summary statistics [`crate::stats::ExplorationStats`] needs to record
+//!   the schedule.
 //!
 //! [`run_begun_schedule`] then drives one schedule of a [`BoundedDfs`]: it
 //! feeds the scheduler cached points for as long as the decision path stays
@@ -736,7 +737,7 @@ impl CacheReplay {
     /// would have served it (a hit: no program execution), `false` when the
     /// serial driver would have executed it (the path is then inserted,
     /// unless the byte cap has been reached — mirroring
-    /// [`ScheduleCache::insert`] exactly).
+    /// `ScheduleCache::insert` exactly).
     pub fn apply(&mut self, schedule: &[ThreadId], enabled_counts: &[u32]) -> bool {
         debug_assert_eq!(schedule.len(), enabled_counts.len());
         // Walk as far as the trie goes.

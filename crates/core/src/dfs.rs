@@ -8,7 +8,7 @@
 //!
 //! With [`BoundedDfs::with_sleep_sets`] the search applies Godefroid-style
 //! sleep sets over the [`PendingOp`] summaries of the scheduling point. Each
-//! [`ChoicePoint`] carries a *sleep set*: threads whose subtrees at this node
+//! `ChoicePoint` carries a *sleep set*: threads whose subtrees at this node
 //! are already covered by an earlier sibling, together with the pending
 //! operation each was parked at when it was put to sleep. The rules are:
 //!

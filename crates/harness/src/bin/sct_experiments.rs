@@ -17,6 +17,9 @@
 //! bug prefixes as durable artifacts ("campaign mode"), and `--resume` seeds
 //! the run from those artifacts so a killed study picks up where it left off
 //! (see `sct-table replay` for reproducing the recorded bugs).
+//! `--static-phase` replaces the dynamic race-detection runs with the
+//! `sct-analysis` static race candidates (a sound over-approximation),
+//! promoting those locations to visible operations instead.
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
 //! default here is a laptop-friendly 2,000 schedules.
@@ -76,12 +79,17 @@ fn main() {
     };
 
     eprintln!(
-        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}{}{}",
+        "running the study: schedule limit {}, race runs {}, seed {}, filter {:?}, {} workers{}{}{}{}{}",
         args.config.schedule_limit,
         args.config.race_runs,
         args.config.seed,
         args.filter,
         args.config.workers,
+        if args.config.static_phase {
+            ", static race phase"
+        } else {
+            ""
+        },
         if args.config.por {
             ", sleep-set POR"
         } else {

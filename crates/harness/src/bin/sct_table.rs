@@ -1,8 +1,8 @@
-//! `sct-table` — regenerate a single table or figure of the paper, or replay
-//! a recorded bug corpus.
+//! `sct-table` — regenerate a single table or figure of the paper, print the
+//! static-analysis lint catalogue, or replay a recorded bug corpus.
 //!
 //! ```text
-//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|replay> [common flags]
+//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay> [common flags]
 //! ```
 //!
 //! The common flags are shared with `sct-experiments` (see
@@ -10,6 +10,10 @@
 //! `--steal-workers` behave identically in both binaries. `table1` is pure
 //! metadata and runs instantly; everything else runs the experiment pipeline
 //! (over the filtered subset, if `--filter` is given) before rendering.
+//!
+//! `lint` runs `sct-analysis` over the (filtered) registry without executing
+//! anything and prints each benchmark's report: static race candidates,
+//! lock-order cycles, lints and blocking sites.
 //!
 //! `replay` takes `--corpus-dir DIR` and re-runs every bug prefix recorded
 //! there ("campaign mode" artifacts, see `sct_core::corpus`): each prefix
@@ -20,14 +24,27 @@ use sct_core::corpus::{replay_prefix, Corpus, CorpusError};
 use sct_harness::{
     cli, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
 };
-use sctbench::benchmark_by_name;
+use sctbench::{all_benchmarks, benchmark_by_name};
 use std::path::Path;
 
 fn usage() -> String {
     format!(
-        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|replay> {}",
+        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay> {}",
         cli::COMMON_USAGE
     )
+}
+
+/// Print the static-analysis report for every benchmark matching the filter.
+fn lint(filter: Option<&str>) {
+    for spec in all_benchmarks() {
+        if let Some(f) = filter {
+            if !spec.name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        let program = spec.program();
+        print!("{}", sct_analysis::analyze(&program).render(&program));
+    }
 }
 
 /// Replay every recorded bug prefix in the corpus directory, each in exactly
@@ -101,6 +118,11 @@ fn main() {
 
     if what == "table1" {
         print!("{}", table1());
+        return;
+    }
+
+    if what == "lint" {
+        lint(filter.as_deref());
         return;
     }
 

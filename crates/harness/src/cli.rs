@@ -11,8 +11,8 @@ use std::path::PathBuf;
 /// Usage fragment for the shared study flags, in match order. The binaries
 /// splice this into their usage strings so the flag lists cannot go stale.
 pub const COMMON_USAGE: &str = "[--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR] \
-[--no-race-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] [--steal-workers N] \
-[--corpus-dir DIR] [--resume]";
+[--no-race-phase] [--static-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] \
+[--steal-workers N] [--corpus-dir DIR] [--resume]";
 
 fn value(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<String, String> {
     rest.next()
@@ -64,6 +64,7 @@ pub fn parse_common_flag(
         "--seed" => config.seed = parsed(rest, "--seed")?,
         "--filter" => *filter = Some(value(rest, "--filter")?),
         "--no-race-phase" => config.use_race_phase = false,
+        "--static-phase" => config.static_phase = true,
         "--with-pct" => config.include_pct = true,
         "--por" => config.por = true,
         "--schedule-cache" => config.cache = true,
@@ -107,6 +108,7 @@ mod tests {
             "--filter",
             "splash",
             "--no-race-phase",
+            "--static-phase",
             "--with-pct",
             "--por",
             "--schedule-cache",
@@ -124,6 +126,7 @@ mod tests {
         assert_eq!(config.seed, 99);
         assert_eq!(filter.as_deref(), Some("splash"));
         assert!(!config.use_race_phase);
+        assert!(config.static_phase);
         assert!(config.include_pct);
         assert!(config.por);
         assert!(config.cache);
@@ -199,6 +202,7 @@ mod tests {
             "--seed",
             "--filter",
             "--no-race-phase",
+            "--static-phase",
             "--with-pct",
             "--por",
             "--schedule-cache",

@@ -188,6 +188,7 @@ mod tests {
             race_runs: 3,
             seed: 2,
             use_race_phase: true,
+            static_phase: false,
             include_pct: false,
             workers: 2,
             por: false,

@@ -22,6 +22,13 @@ pub struct HarnessConfig {
     /// visible operations (as in the paper), or to treat *every* shared
     /// access as visible (an ablation).
     pub use_race_phase: bool,
+    /// Replace the dynamic race-detection phase with the static analyzer:
+    /// skip the uncontrolled race runs entirely and promote the locations of
+    /// `sct-analysis`'s race candidates (a sound over-approximation of the
+    /// dynamic racy-location set) to visible operations. Takes precedence
+    /// over [`HarnessConfig::use_race_phase`]; `--static-phase` on both
+    /// binaries sets it.
+    pub static_phase: bool,
     /// Include PCT as an additional (non-paper) technique.
     pub include_pct: bool,
     /// Number of worker threads the study fans benchmarks × techniques out
@@ -69,6 +76,7 @@ impl Default for HarnessConfig {
             race_runs: 10,
             seed: 0x5c7_bec4,
             use_race_phase: true,
+            static_phase: false,
             include_pct: false,
             workers: default_workers(),
             por: false,
@@ -89,10 +97,16 @@ pub struct BenchmarkResult {
     pub name: String,
     /// Suite name.
     pub suite: String,
-    /// Number of distinct races observed in the race-detection phase.
+    /// Number of distinct races observed in the race-detection phase
+    /// (0 when [`HarnessConfig::static_phase`] replaced it).
     pub races: usize,
     /// Number of static locations promoted to visible operations.
     pub racy_locations: usize,
+    /// Number of race candidates the static analyzer reports.
+    pub static_candidates: usize,
+    /// Number of distinct locations involved in those candidates (what
+    /// `--static-phase` promotes instead of the dynamic racy locations).
+    pub static_locations: usize,
     /// Statistics per technique, in the order they were run.
     pub techniques: Vec<ExplorationStats>,
     /// The paper's Table 3 numbers (for comparisons).
@@ -188,19 +202,32 @@ pub fn run_benchmark(
 ) -> Result<BenchmarkResult, CorpusError> {
     let program = spec.program();
 
-    // Phase 1: data-race detection (§5 of the paper).
-    let race_config = RacePhaseConfig {
-        runs: config.race_runs,
-        seed: config.seed,
-        ..Default::default()
+    // Static triage always runs: it is microseconds per benchmark and its
+    // counts are study output (Table 3's static columns) either way.
+    let analysis = sct_analysis::analyze(&program);
+    let static_locations = analysis.candidate_locations();
+
+    // Phase 1: data-race detection (§5 of the paper) — or its static
+    // replacement. `--static-phase` skips the 10 uncontrolled runs and
+    // promotes the analyzer's candidate locations instead, which are a sound
+    // superset of what the dynamic phase can find.
+    let (races, racy) = if config.static_phase {
+        (0, static_locations.iter().copied().collect::<Vec<_>>())
+    } else {
+        let race_config = RacePhaseConfig {
+            runs: config.race_runs,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let report = race_detection_phase(&program, &race_config);
+        let racy = report.racy_locations().into_iter().collect::<Vec<_>>();
+        (report.races.len(), racy)
     };
-    let report = race_detection_phase(&program, &race_config);
-    let racy = report.racy_locations();
 
     // Phase 2: the exploration techniques, all sharing the same racy-location
     // information (as the paper stresses, the race results are shared so the
     // comparison between techniques is fair).
-    let exec_config = if config.use_race_phase {
+    let exec_config = if config.static_phase || config.use_race_phase {
         ExecConfig::with_racy_locations(racy.iter().copied())
     } else {
         ExecConfig::all_visible()
@@ -255,8 +282,10 @@ pub fn run_benchmark(
         id: spec.id,
         name: spec.name.to_string(),
         suite: spec.suite.name().to_string(),
-        races: report.races.len(),
+        races,
         racy_locations: racy.len(),
+        static_candidates: analysis.candidates.len(),
+        static_locations: static_locations.len(),
         techniques,
         paper: spec.paper,
     })
@@ -314,6 +343,7 @@ mod tests {
             race_runs: 5,
             seed: 7,
             use_race_phase: true,
+            static_phase: false,
             include_pct: false,
             workers: 2,
             por: false,
@@ -358,6 +388,39 @@ mod tests {
         cfg.use_race_phase = false;
         let result = run_benchmark(&spec, &cfg).unwrap();
         assert!(result.found_by("IDB"));
+    }
+
+    #[test]
+    fn static_phase_skips_dynamic_race_runs_but_still_finds_the_bug() {
+        let spec = benchmark_by_name("CS.stack_bad").unwrap();
+        let mut cfg = quick_config();
+        cfg.static_phase = true;
+        let result = run_benchmark(&spec, &cfg).unwrap();
+        assert_eq!(result.races, 0, "dynamic race phase must be skipped");
+        assert!(result.static_candidates > 0);
+        assert_eq!(
+            result.racy_locations, result.static_locations,
+            "static candidates are what gets promoted"
+        );
+        assert!(result.found_by("IDB"));
+    }
+
+    #[test]
+    fn static_candidate_columns_are_populated_in_dynamic_mode_too() {
+        // lazy01_bad locks every shared access: no static candidates. The
+        // columns must still be filled in even though the dynamic race phase
+        // (not the analyzer) decided the promoted locations.
+        let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
+        let result = run_benchmark(&spec, &quick_config()).unwrap();
+        assert_eq!(result.static_candidates, 0);
+        assert_eq!(result.static_locations, 0);
+
+        // account_bad locks the workers' accesses, but main re-reads the
+        // balance without the lock after joining; the analyzer does not model
+        // join ordering, so those pairs are (soundly) kept as candidates.
+        let spec = benchmark_by_name("CS.account_bad").unwrap();
+        let result = run_benchmark(&spec, &quick_config()).unwrap();
+        assert!(result.static_candidates >= 2);
     }
 
     #[test]

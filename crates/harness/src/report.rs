@@ -127,6 +127,7 @@ mod tests {
             race_runs: 3,
             seed: 3,
             use_race_phase: true,
+            static_phase: false,
             include_pct: false,
             workers: 2,
             por: false,

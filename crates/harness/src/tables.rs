@@ -194,6 +194,7 @@ pub fn table3(results: &StudyResults) -> String {
 pub fn table3_csv(results: &StudyResults) -> String {
     let mut out = String::from(
         "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
+         static_candidates,static_locations,\
          bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,\
          slept,pruned_by_sleep,complete,hit_limit,bound_exhausted,executions,cache_hits,cache_bytes\n",
     );
@@ -201,7 +202,7 @@ pub fn table3_csv(results: &StudyResults) -> String {
         for t in &b.techniques {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 b.id,
                 b.name,
                 b.suite,
@@ -211,6 +212,8 @@ pub fn table3_csv(results: &StudyResults) -> String {
                 t.max_scheduling_points,
                 b.races,
                 b.racy_locations,
+                b.static_candidates,
+                b.static_locations,
                 opt_u32(t.bound_of_first_bug.or(t.final_bound)),
                 opt_u64(t.schedules_to_first_bug),
                 t.schedules,
@@ -242,6 +245,7 @@ mod tests {
             race_runs: 3,
             seed: 1,
             use_race_phase: true,
+            static_phase: false,
             include_pct: false,
             workers: 2,
             por: false,
@@ -287,5 +291,10 @@ mod tests {
         // Header plus 3 benchmarks x 5 techniques.
         assert_eq!(csv.lines().count(), 1 + 3 * 5);
         assert!(csv.lines().nth(1).unwrap().contains("splash2.barnes"));
+        // Every row has as many fields as the header declares.
+        let fields = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), fields, "{line}");
+        }
     }
 }

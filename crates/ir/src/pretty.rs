@@ -105,11 +105,14 @@ pub fn op_to_string(program: &Program, op: &Op) -> String {
             expected,
             new,
             dst_success,
-            ..
+            dst_old,
         } => format!(
-            "{}cas {} {expected} -> {new}",
+            "{}cas {} {expected} -> {new}{}",
             dst_success.map(|d| format!("{d} = ")).unwrap_or_default(),
-            var_ref_to_string(program, var)
+            var_ref_to_string(program, var),
+            dst_old
+                .map(|d| format!(" (old -> {d})"))
+                .unwrap_or_default()
         ),
         Op::Lock { mutex } => format!(
             "lock {}",
@@ -214,5 +217,28 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn cas_renders_every_destination_variant() {
+        // Regression test: `cas_full`'s old-value destination used to be
+        // silently dropped from the rendering, so two different instructions
+        // printed identically.
+        let mut p = ProgramBuilder::new("cas");
+        let x = p.global("x", 0);
+        p.main(|b| {
+            let ok = b.local("ok");
+            let old = b.local("old");
+            b.cas(x, 0, 1, ok);
+            b.cas_full(x, 1, 2, Some(ok), Some(old));
+            b.cas_full(x, 2, 3, None, Some(old));
+            b.cas_full(x, 3, 4, None, None);
+        });
+        let prog = p.build().unwrap();
+        let text = program_to_string(&prog);
+        assert!(text.contains("l0 = cas x 0 -> 1\n"), "{text}");
+        assert!(text.contains("l0 = cas x 1 -> 2 (old -> l1)"), "{text}");
+        assert!(text.contains(": cas x 2 -> 3 (old -> l1)"), "{text}");
+        assert!(text.contains(": cas x 3 -> 4\n"), "{text}");
     }
 }

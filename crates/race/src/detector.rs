@@ -408,4 +408,59 @@ mod tests {
         assert_eq!(a.races.len(), 1);
         assert_eq!(a.racy_locations().len(), 1);
     }
+
+    #[test]
+    fn report_merge_deduplicates_identical_races_but_keeps_distinct_ones() {
+        // Merging is set union on the full `ReportedRace` key: the same race
+        // re-observed in another run must not inflate the count, while a race
+        // differing in any field — even just the access kinds — is distinct.
+        let loc_a = Loc {
+            template: sct_ir::TemplateId(0),
+            pc: 1,
+        };
+        let loc_b = Loc {
+            template: sct_ir::TemplateId(1),
+            pc: 4,
+        };
+        let race = ReportedRace {
+            addr: 7,
+            first: loc_a,
+            second: loc_b,
+            first_is_write: true,
+            second_is_write: false,
+        };
+        let mut a = RaceReport {
+            executions: 1,
+            ..Default::default()
+        };
+        a.races.insert(race);
+        let mut b = RaceReport {
+            executions: 1,
+            ..Default::default()
+        };
+        b.races.insert(race); // duplicate: must collapse
+        b.races.insert(ReportedRace {
+            second_is_write: true, // same pair, different kind: distinct
+            ..race
+        });
+        b.races.insert(ReportedRace {
+            addr: 8, // same pair, different cell: distinct
+            ..race
+        });
+
+        a.merge(&b);
+        assert_eq!(a.races.len(), 3);
+        assert_eq!(a.executions, 2);
+        // Merging the same report again is idempotent on the race set.
+        let snapshot = a.races.clone();
+        let b2 = b.clone();
+        a.merge(&b2);
+        assert_eq!(a.races, snapshot);
+        assert_eq!(a.executions, 3);
+        // The promoted locations collapse to the two participating sites.
+        assert_eq!(
+            a.racy_locations().into_iter().collect::<Vec<_>>(),
+            vec![loc_a, loc_b]
+        );
+    }
 }

@@ -182,4 +182,27 @@ mod tests {
         };
         assert!(d.to_string().contains("t0, t3"));
     }
+
+    #[test]
+    fn deadlock_display_preserves_blocked_thread_order() {
+        // The runtime builds the blocked list by scanning thread ids in
+        // ascending order, and Display renders it verbatim — so equivalent
+        // deadlocks format identically and bug-set differentials can compare
+        // the strings. A single blocked thread gets no trailing separator.
+        let d = Bug::Deadlock {
+            blocked: vec![ThreadId(0), ThreadId(2), ThreadId(5)],
+        };
+        assert_eq!(d.to_string(), "deadlock; blocked threads: t0, t2, t5");
+        let single = Bug::Deadlock {
+            blocked: vec![ThreadId(4)],
+        };
+        assert_eq!(single.to_string(), "deadlock; blocked threads: t4");
+        // Order is not normalised at display time: the constructor's
+        // ascending scan is the canonical form, and Display must not hide a
+        // constructor that stops producing it.
+        let reversed = Bug::Deadlock {
+            blocked: vec![ThreadId(5), ThreadId(2)],
+        };
+        assert_eq!(reversed.to_string(), "deadlock; blocked threads: t5, t2");
+    }
 }

@@ -266,27 +266,27 @@ fn din_phil_sat(n: u32) -> Program {
     p.build().expect("din_phil_sat builds")
 }
 
-/// `CS.din_phil2_sat` — see [`din_phil_sat`].
+/// `CS.din_phil2_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_2() -> Program {
     din_phil_sat(2)
 }
-/// `CS.din_phil3_sat` — see [`din_phil_sat`].
+/// `CS.din_phil3_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_3() -> Program {
     din_phil_sat(3)
 }
-/// `CS.din_phil4_sat` — see [`din_phil_sat`].
+/// `CS.din_phil4_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_4() -> Program {
     din_phil_sat(4)
 }
-/// `CS.din_phil5_sat` — see [`din_phil_sat`].
+/// `CS.din_phil5_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_5() -> Program {
     din_phil_sat(5)
 }
-/// `CS.din_phil6_sat` — see [`din_phil_sat`].
+/// `CS.din_phil6_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_6() -> Program {
     din_phil_sat(6)
 }
-/// `CS.din_phil7_sat` — see [`din_phil_sat`].
+/// `CS.din_phil7_sat` — see `din_phil_sat`.
 pub fn din_phil_sat_7() -> Program {
     din_phil_sat(7)
 }
@@ -456,23 +456,23 @@ fn reorder(threads_launched: u32) -> Program {
     p.build().expect("reorder builds")
 }
 
-/// `CS.reorder_3_bad` — see [`reorder`].
+/// `CS.reorder_3_bad` — see `reorder`.
 pub fn reorder_3_bad() -> Program {
     reorder(3)
 }
-/// `CS.reorder_4_bad` — see [`reorder`].
+/// `CS.reorder_4_bad` — see `reorder`.
 pub fn reorder_4_bad() -> Program {
     reorder(4)
 }
-/// `CS.reorder_5_bad` — see [`reorder`].
+/// `CS.reorder_5_bad` — see `reorder`.
 pub fn reorder_5_bad() -> Program {
     reorder(5)
 }
-/// `CS.reorder_10_bad` — see [`reorder`].
+/// `CS.reorder_10_bad` — see `reorder`.
 pub fn reorder_10_bad() -> Program {
     reorder(10)
 }
-/// `CS.reorder_20_bad` — see [`reorder`].
+/// `CS.reorder_20_bad` — see `reorder`.
 pub fn reorder_20_bad() -> Program {
     reorder(20)
 }
@@ -653,13 +653,13 @@ fn twostage(total_threads: u32) -> Program {
     p.build().expect("twostage builds")
 }
 
-/// `CS.twostage_bad` — see [`twostage`] (3 threads launched... the original
+/// `CS.twostage_bad` — see `twostage` (3 threads launched... the original
 /// launches 2 workers and 1 reader).
 pub fn twostage_bad() -> Program {
     twostage(2)
 }
 
-/// `CS.twostage_100_bad` — see [`twostage`]; 100 threads launched.
+/// `CS.twostage_100_bad` — see `twostage`; 100 threads launched.
 pub fn twostage_100_bad() -> Program {
     twostage(100)
 }
@@ -701,12 +701,12 @@ fn wronglock(readers: u32) -> Program {
     p.build().expect("wronglock builds")
 }
 
-/// `CS.wronglock_3_bad` — see [`wronglock`]; 3 readers.
+/// `CS.wronglock_3_bad` — see `wronglock`; 3 readers.
 pub fn wronglock_3_bad() -> Program {
     wronglock(3)
 }
 
-/// `CS.wronglock_bad` — see [`wronglock`]; 7 readers.
+/// `CS.wronglock_bad` — see `wronglock`; 7 readers.
 pub fn wronglock_bad() -> Program {
     wronglock(7)
 }

@@ -15,10 +15,11 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`ir`] | `sct-ir` | the program IR and builder DSL |
+//! | [`analysis`] | `sct-analysis` | static lockset/lock-order analysis, race candidates and lints |
 //! | [`runtime`] | `sct-runtime` | the deterministic controlled-execution engine |
 //! | [`race`] | `sct-race` | vector clocks, the FastTrack-style detector, the race-detection phase |
 //! | [`core`] | `sct-core` | schedulers, schedule bounding, exploration drivers and statistics |
-//! | [`bench`] | `sctbench` | the 52 SCTBench benchmarks and their registry |
+//! | [`mod@bench`] | `sctbench` | the 52 SCTBench benchmarks and their registry |
 //! | [`harness`] | `sct-harness` | the study pipeline, tables and figures |
 //! | [`threads`] | `sct-threads` | a loom-style closure/OS-thread frontend driven by the same schedulers |
 //!
@@ -56,6 +57,11 @@
 /// The program intermediate representation and builder DSL (`sct-ir`).
 pub mod ir {
     pub use sct_ir::*;
+}
+
+/// Static lockset and lock-order analysis over the IR (`sct-analysis`).
+pub mod analysis {
+    pub use sct_analysis::*;
 }
 
 /// The controlled, deterministic execution runtime (`sct-runtime`).
@@ -106,5 +112,7 @@ mod tests {
         assert_eq!(benchmarks.len(), 52);
         let _cfg = crate::runtime::ExecConfig::all_visible();
         let _limits = crate::core::ExploreLimits::with_schedule_limit(10);
+        let report = crate::analysis::analyze(&benchmarks[0].program());
+        assert_eq!(report.name, benchmarks[0].name);
     }
 }

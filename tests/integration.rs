@@ -163,6 +163,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         race_runs: 5,
         seed: 5,
         use_race_phase: true,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,
@@ -641,6 +642,7 @@ fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
         race_runs: 5,
         seed: 7,
         use_race_phase: false,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,
@@ -692,6 +694,7 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         race_runs: 5,
         seed: 7,
         use_race_phase: false,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,
@@ -1084,6 +1087,7 @@ fn harness_campaign_mode_persists_resumes_and_replays() {
         race_runs: 3,
         seed: 7,
         use_race_phase: false,
+        static_phase: false,
         include_pct: false,
         workers: 2,
         por: false,
@@ -1161,6 +1165,7 @@ fn harness_campaign_mode_persists_resumes_and_replays() {
             &spec,
             &HarnessConfig {
                 use_race_phase: true,
+                static_phase: false,
                 resume: true,
                 ..base.clone()
             },
@@ -1171,4 +1176,213 @@ fn harness_campaign_mode_persists_resumes_and_replays() {
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Static analysis: the soundness oracle against the dynamic phases.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn static_race_candidates_are_a_sound_superset_of_the_dynamic_detector() {
+    // The analyzer's claim is soundness, not precision: on every benchmark,
+    // every race the dynamic FastTrack phase reports must appear among the
+    // static candidates, and every dynamically promoted location must be a
+    // statically promoted one. (The reverse — static candidates the dynamic
+    // runs never witness — is expected imprecision, e.g. join-blind MHP.)
+    use sct::analysis::analyze;
+    let mut with_dynamic_races = 0usize;
+    for spec in all_benchmarks() {
+        let program = spec.program();
+        let report = race_detection_phase(&program, &RacePhaseConfig::default());
+        let analysis = analyze(&program);
+        let pairs = analysis.candidate_pairs();
+        let locations = analysis.candidate_locations();
+        for race in &report.races {
+            let key = if race.first <= race.second {
+                (race.first, race.second)
+            } else {
+                (race.second, race.first)
+            };
+            assert!(
+                pairs.contains(&key),
+                "{}: dynamic race {} <-> {} is missing from the static candidates",
+                spec.name,
+                race.first,
+                race.second
+            );
+        }
+        for loc in report.racy_locations() {
+            assert!(
+                locations.contains(&loc),
+                "{}: dynamically racy location {loc} was not statically promoted",
+                spec.name
+            );
+        }
+        if !report.races.is_empty() {
+            with_dynamic_races += 1;
+        }
+    }
+    // Keep the oracle honest: the dynamic phase must actually exercise it.
+    assert!(
+        with_dynamic_races >= 10,
+        "only {with_dynamic_races} benchmarks showed dynamic races; the differential is vacuous"
+    );
+}
+
+#[test]
+fn static_analysis_flags_every_deadlock_benchmark() {
+    use sct::analysis::analyze;
+    use sct::bench::BugKind;
+
+    // (1) Registry ground truth: every benchmark whose documented bug is a
+    // deadlock (lock-order inversion or lost wakeup) must be flagged.
+    let mut deadlock_specs = 0usize;
+    for spec in all_benchmarks() {
+        if spec.bug_kind == BugKind::Deadlock {
+            deadlock_specs += 1;
+            let program = spec.program();
+            assert!(
+                analyze(&program).flags_deadlock(),
+                "{}: deadlock benchmark escaped the static analysis",
+                spec.name
+            );
+        }
+    }
+    assert!(
+        deadlock_specs >= 8,
+        "only {deadlock_specs} deadlock benchmarks in the registry; expected dining philosophers alone to provide 6"
+    );
+
+    // (2) Exploration ground truth: on every tractable benchmark whose
+    // exhaustive DFS actually reaches a deadlock, the analyzer flags it.
+    for name in TRACTABLE_DFS_BENCHMARKS {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let Some((bugs, _, _)) = dfs_exploration_sets(&program, true, 16_000) else {
+            continue;
+        };
+        if bugs.iter().any(|b| b.contains("Deadlock")) {
+            assert!(
+                analyze(&program).flags_deadlock(),
+                "{name}: DFS reached a deadlock the analyzer did not flag"
+            );
+        }
+    }
+
+    // (3) Shape: the classic inversions are flagged through a lock-order
+    // cycle specifically, and a racy-but-deadlock-free benchmark is clean.
+    for name in ["CS.deadlock01_bad", "CS.din_phil2_sat"] {
+        let program = benchmark_by_name(name).unwrap().program();
+        assert!(
+            !analyze(&program).lock_cycles.is_empty(),
+            "{name}: expected a lock-order cycle"
+        );
+    }
+    let program = benchmark_by_name("CS.account_bad").unwrap().program();
+    assert!(!analyze(&program).flags_deadlock());
+}
+
+#[test]
+fn static_phase_pipeline_finds_the_same_bugs_as_the_dynamic_race_phase() {
+    // `--static-phase` replaces the ten uncontrolled race runs with the
+    // analyzer's candidates. Because those candidates are a superset of the
+    // dynamically racy locations, the promoted-visibility exploration must
+    // find the same bugs on benchmarks with known bugs.
+    let base = HarnessConfig {
+        schedule_limit: 2_000,
+        race_runs: 5,
+        seed: 7,
+        use_race_phase: true,
+        static_phase: false,
+        include_pct: false,
+        workers: 2,
+        por: false,
+        cache: false,
+        steal_workers: 1,
+        corpus_dir: None,
+        resume: false,
+    };
+    let static_cfg = HarnessConfig {
+        static_phase: true,
+        ..base.clone()
+    };
+    for name in ["CS.stack_bad", "CS.reorder_3_bad", "CS.lazy01_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let dynamic = sct::harness::pipeline::run_benchmark(&spec, &base).unwrap();
+        let fast = sct::harness::pipeline::run_benchmark(&spec, &static_cfg).unwrap();
+        let found = |r: &sct::harness::BenchmarkResult| -> std::collections::BTreeSet<String> {
+            r.techniques
+                .iter()
+                .filter(|t| t.found_bug())
+                .map(|t| t.technique.clone())
+                .collect()
+        };
+        let dynamic_found = found(&dynamic);
+        let static_found = found(&fast);
+        assert!(
+            !dynamic_found.is_empty(),
+            "{name}: the dynamic-phase run found no bug at all"
+        );
+        assert_eq!(
+            dynamic_found, static_found,
+            "{name}: bug sets differ between the race phases"
+        );
+        assert_eq!(
+            fast.races, 0,
+            "{name}: static phase must skip the race runs"
+        );
+        assert_eq!(
+            fast.racy_locations, fast.static_locations,
+            "{name}: static mode promotes exactly the candidate locations"
+        );
+    }
+}
+
+#[test]
+fn pretty_rendering_of_account_bad_is_stable() {
+    // A golden test over a representative benchmark: every construct it uses
+    // (globals, mutexes, lock/unlock, loads/stores, locals arithmetic, spawn
+    // with handles, join, assert) renders exactly like this. A diff here
+    // means the IR text format changed — update deliberately.
+    let program = benchmark_by_name("CS.account_bad").unwrap().program();
+    let expected = "\
+program CS.account_bad
+  global balance x1 = [0]
+  mutex m x1
+  thread deposit [1 locals]
+      0: lock m
+      1: l0 = load balance
+      2: unlock m
+      3: l0 = (l0 + 100)
+      4: lock m
+      5: store balance = l0
+      6: unlock m
+      7: halt
+  thread withdraw [1 locals]
+      0: lock m
+      1: l0 = load balance
+      2: unlock m
+      3: l0 = (l0 - 40)
+      4: lock m
+      5: store balance = l0
+      6: unlock m
+      7: halt
+  thread check [1 locals]
+      0: lock m
+      1: l0 = load balance
+      2: unlock m
+      3: assert ((l0 == 0) || ((l0 == 100) || ((l0 == -40) || (l0 == 60)))) \"balance is consistent\"
+      4: halt
+  thread main (main) [4 locals]
+      0: l0 = spawn deposit
+      1: l1 = spawn withdraw
+      2: l2 = spawn check
+      3: join l0
+      4: join l1
+      5: join l2
+      6: l3 = load balance
+      7: assert (l3 == 60) \"final balance == 60\"
+      8: halt
+";
+    assert_eq!(sct::ir::pretty::program_to_string(&program), expected);
 }
