@@ -24,6 +24,7 @@ fn bench_fig2(c: &mut Criterion) {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     group.bench_function("study_subset_splash2_plus_cs_sync", |b| {
         b.iter(|| {

@@ -42,6 +42,7 @@ fn bench_table2(c: &mut Criterion) {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     let results = sct_harness::run_study(&config, Some("splash2")).unwrap();
     group.bench_function("derive_table2_counters", |b| {

@@ -733,6 +733,12 @@ impl CacheReplay {
         self.bytes
     }
 
+    /// Whether the mirrored byte cap has been reached (insertions have
+    /// stopped, exactly as [`ScheduleCache::is_full`] would report).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
     /// Replay one visited schedule. Returns `true` when the serial cache
     /// would have served it (a hit: no program execution), `false` when the
     /// serial driver would have executed it (the path is then inserted,

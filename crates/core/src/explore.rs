@@ -9,9 +9,11 @@ use crate::pct::PctScheduler;
 use crate::random::RandomScheduler;
 use crate::scheduler::Scheduler;
 use crate::stats::ExplorationStats;
+use crate::telemetry::{Event, Telemetry};
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution, NoopObserver};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Limits and switches applied to an exploration.
 #[derive(Debug, Clone)]
@@ -49,6 +51,11 @@ pub struct ExploreLimits {
     /// deterministic no matter how concurrently-running techniques interleave
     /// on the live trie. Takes precedence over `cache`.
     pub shared_cache: Option<Arc<SharedCache>>,
+    /// Telemetry handle (see [`crate::telemetry`]). Off by default; when on,
+    /// the drivers emit bound-level, progress, cache and bug-discovery
+    /// events. Telemetry is observation-only — it never changes statistics,
+    /// digests or search order.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ExploreLimits {
@@ -61,6 +68,7 @@ impl Default for ExploreLimits {
             cache_max_bytes: cache::DEFAULT_CACHE_BYTES,
             steal_workers: 1,
             shared_cache: None,
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -102,6 +110,35 @@ impl ExploreLimits {
         ExploreLimits {
             shared_cache,
             ..self
+        }
+    }
+
+    /// The same limits with the given telemetry handle attached.
+    pub fn with_telemetry(self, telemetry: Telemetry) -> Self {
+        ExploreLimits { telemetry, ..self }
+    }
+}
+
+/// Emit a [`Event::BugFound`] when `stats` just transitioned from no bug to
+/// its first bug (`prev` is `schedules_to_first_bug` before the record).
+pub(crate) fn note_first_bug(
+    prev: Option<u64>,
+    stats: &ExplorationStats,
+    telemetry: &Telemetry,
+    program: &str,
+) {
+    if prev.is_none() {
+        if let Some(schedule) = stats.schedules_to_first_bug {
+            telemetry.emit(|| Event::BugFound {
+                program: program.to_string(),
+                technique: stats.technique.clone(),
+                bug: stats
+                    .first_bug
+                    .as_ref()
+                    .map(|b| b.to_string())
+                    .unwrap_or_default(),
+                schedule,
+            });
         }
     }
 }
@@ -172,6 +209,7 @@ pub fn explore_with(
     scheduler: &mut dyn Scheduler,
     limits: &ExploreLimits,
 ) -> ExplorationStats {
+    let started = Instant::now();
     let mut stats = ExplorationStats::new(scheduler.name());
     // One execution for the whole exploration: `reset` rewinds it in place,
     // so the hot loop performs no per-schedule allocation or config clone.
@@ -186,7 +224,16 @@ pub fn explore_with(
             // by another explored schedule, so it is not a new schedule.
             continue;
         }
+        let prev = stats.schedules_to_first_bug;
         stats.record(&outcome);
+        note_first_bug(prev, &stats, &limits.telemetry, &program.name);
+        limits.telemetry.progress(|| Event::Progress {
+            program: program.name.clone(),
+            technique: stats.technique.clone(),
+            schedules: stats.schedules,
+            executions: stats.executions,
+            cache_hits: 0,
+        });
     }
     let mut complete = scheduler.is_exhaustive();
     if !complete && stats.schedules >= limits.schedule_limit && scheduler.can_exhaust() {
@@ -229,6 +276,7 @@ pub fn explore_with(
     let (slept, pruned_by_sleep) = scheduler.sleep_counters();
     stats.slept = slept;
     stats.pruned_by_sleep = pruned_by_sleep;
+    stats.explore_nanos = started.elapsed().as_nanos() as u64;
     stats
 }
 
@@ -277,6 +325,7 @@ pub(crate) fn explore_dfs_corpus(
     corpus: &SharedCache,
     mut digests: Option<&mut Vec<cache::TerminalDigest>>,
 ) -> ExplorationStats {
+    let started = Instant::now();
     let mut stats = ExplorationStats::new(scheduler.name());
     let mut exec = Execution::new_shared(program, config);
     let mut mirror = corpus.mirror();
@@ -302,10 +351,19 @@ pub(crate) fn explore_dfs_corpus(
         if let Some(out) = digests.as_deref_mut() {
             out.push(run.digest());
         }
+        let prev = stats.schedules_to_first_bug;
         match &run {
             ScheduleRun::Executed(outcome) => stats.record(outcome),
             ScheduleRun::Served(digest) => digest.record_into(&mut stats),
         }
+        note_first_bug(prev, &stats, &limits.telemetry, &program.name);
+        limits.telemetry.progress(|| Event::Progress {
+            program: program.name.clone(),
+            technique: stats.technique.clone(),
+            schedules: stats.schedules,
+            executions: stats.executions,
+            cache_hits: mirror.hits(),
+        });
     }
     let mut complete = scheduler.is_exhaustive();
     if !complete && stats.schedules >= limits.schedule_limit && scheduler.can_exhaust() {
@@ -341,6 +399,7 @@ pub(crate) fn explore_dfs_corpus(
     stats.pruned_by_sleep = pruned_by_sleep;
     stats.cache_hits = mirror.hits();
     stats.cache_bytes = mirror.bytes();
+    stats.explore_nanos = started.elapsed().as_nanos() as u64;
     stats
 }
 
@@ -370,6 +429,7 @@ pub fn iterative_bounding(
         BoundKind::Delay => "IDB",
         BoundKind::None => "DFS",
     };
+    let started = Instant::now();
     let mut agg = ExplorationStats::new(label);
     let mut exec = Execution::new_shared(program, config);
     let corpus = limits.shared_cache.clone();
@@ -377,9 +437,16 @@ pub fn iterative_bounding(
     let mut cache =
         (corpus.is_none() && limits.cache).then(|| ScheduleCache::new(limits.cache_max_bytes));
     let mut stopped = false;
+    let mut degradation_reported = false;
     for bound in 0..=limits.max_bound {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut new_at_bound = 0u64;
+        let level_hits_base = match (&mirror, &cache) {
+            (Some(m), _) => m.hits(),
+            (None, Some(c)) => c.hits(),
+            (None, None) => 0,
+        };
+        let level_base = (agg.schedules, agg.executions);
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
             let handle = match (corpus.as_deref(), cache.as_mut()) {
                 (Some(shared), _) => CacheHandle::Shared(shared.live()),
@@ -415,17 +482,60 @@ pub fn iterative_bounding(
             // re-checked, matching §2's description of iterative bounding).
             if cost == bound || bound == 0 {
                 new_at_bound += 1;
+                let prev = agg.schedules_to_first_bug;
                 match &run {
                     ScheduleRun::Executed(outcome) => agg.record(outcome),
                     ScheduleRun::Served(digest) => digest.record_into(&mut agg),
                 }
+                note_first_bug(prev, &agg, &limits.telemetry, &program.name);
             }
+            limits.telemetry.progress(|| Event::Progress {
+                program: program.name.clone(),
+                technique: label.to_string(),
+                schedules: agg.schedules,
+                executions: agg.executions,
+                cache_hits: match (&mirror, &cache) {
+                    (Some(m), _) => m.hits(),
+                    (None, Some(c)) => c.hits(),
+                    (None, None) => 0,
+                },
+            });
         }
         let (slept, pruned_by_sleep) = scheduler.sleep_counters();
         agg.slept += slept;
         agg.pruned_by_sleep += pruned_by_sleep;
         agg.final_bound = Some(bound);
         agg.new_schedules_at_final_bound = new_at_bound;
+        let level_hits = match (&mirror, &cache) {
+            (Some(m), _) => m.hits(),
+            (None, Some(c)) => c.hits(),
+            (None, None) => 0,
+        };
+        limits.telemetry.emit(|| Event::BoundLevel {
+            program: program.name.clone(),
+            technique: label.to_string(),
+            bound: bound as u64,
+            schedules: agg.schedules - level_base.0,
+            executions: agg.executions - level_base.1,
+            cache_hits: level_hits - level_hits_base,
+            new_at_bound,
+        });
+        if !degradation_reported && limits.telemetry.is_on() {
+            let (full, bytes) = match (&mirror, &cache) {
+                (Some(m), _) => (m.is_full(), m.bytes()),
+                (None, Some(c)) => (c.is_full(), c.bytes()),
+                (None, None) => (false, 0),
+            };
+            if full {
+                degradation_reported = true;
+                limits.telemetry.emit(|| Event::CacheDegraded {
+                    program: program.name.clone(),
+                    technique: label.to_string(),
+                    bytes,
+                    max_bytes: limits.cache_max_bytes,
+                });
+            }
+        }
         if agg.found_bug() && agg.bound_of_first_bug.is_none() {
             agg.bound_of_first_bug = Some(bound);
         }
@@ -464,6 +574,7 @@ pub fn iterative_bounding(
         agg.cache_hits = c.hits();
         agg.cache_bytes = c.bytes();
     }
+    agg.explore_nanos = started.elapsed().as_nanos() as u64;
     agg
 }
 
@@ -474,7 +585,8 @@ pub fn run_technique(
     technique: Technique,
     limits: &ExploreLimits,
 ) -> ExplorationStats {
-    match technique {
+    let started = Instant::now();
+    let mut stats = match technique {
         Technique::Dfs => {
             if limits.steal_workers > 1 {
                 crate::steal::explore_bounded_stealing(
@@ -533,7 +645,11 @@ pub fn run_technique(
             let mut scheduler = MapleLikeScheduler::new(profiling_runs, seed);
             explore_with(program, config, &mut scheduler, limits)
         }
-    }
+    };
+    // The outermost stamp wins: it covers dispatch plus the driver, so every
+    // caller of `run_technique` sees the full wall-clock cost.
+    stats.explore_nanos = started.elapsed().as_nanos() as u64;
+    stats
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ pub mod random;
 pub mod scheduler;
 pub mod stats;
 pub mod steal;
+pub mod telemetry;
 
 pub use bounds::{BoundKind, BoundPolicy, DelayBound, NoBound, PreemptionBound};
 pub use cache::{
@@ -80,6 +81,7 @@ pub use random::RandomScheduler;
 pub use scheduler::Scheduler;
 pub use stats::ExplorationStats;
 pub use steal::{explore_bounded_stealing, explore_bounded_stealing_digests};
+pub use telemetry::{Event, Recorder, Telemetry};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -100,4 +102,5 @@ pub mod prelude {
     pub use crate::scheduler::Scheduler;
     pub use crate::stats::ExplorationStats;
     pub use crate::steal::{self, explore_bounded_stealing, explore_bounded_stealing_digests};
+    pub use crate::telemetry::{self, Event, Recorder, Telemetry};
 }

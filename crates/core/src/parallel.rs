@@ -36,12 +36,14 @@ use crate::dfs::BoundedDfs;
 use crate::explore::{self, ExploreLimits, Technique};
 use crate::scheduler::Scheduler;
 use crate::stats::ExplorationStats;
+use crate::telemetry::Event;
 use sct_ir::Program;
 use sct_runtime::{Bug, ExecConfig, Execution, ThreadId};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::RwLock;
 use std::thread;
+use std::time::Instant;
 
 /// Number of workers to use when the caller does not specify one.
 pub fn default_workers() -> usize {
@@ -475,15 +477,25 @@ fn fold_bound(
     agg: &mut ExplorationStats,
     run: &BoundRun,
     limits: &ExploreLimits,
-    replay: Option<&mut CacheReplay>,
+    mut replay: Option<&mut CacheReplay>,
+    program: &str,
 ) -> bool {
     let mut new_at_bound = 0u64;
     let mut truncated = false;
     let mut level_slept = 0u64;
     let mut level_pruned_by_sleep = 0u64;
     let mut level_executions = 0u64;
+    // Telemetry bookkeeping: the fold runs on the calling thread in bound
+    // order, so per-level deltas and the first-bug transition are observed
+    // exactly as the serial driver would report them.
+    let fold_base = (
+        agg.schedules,
+        agg.executions,
+        replay.as_deref().map(CacheReplay::hits).unwrap_or(0),
+    );
+    let prev_first_bug = agg.schedules_to_first_bug;
     let cached = replay.is_some() && run.visits.is_some();
-    if let (Some(replay), Some(visits)) = (replay, run.visits.as_ref()) {
+    if let (Some(replay), Some(visits)) = (replay.as_deref_mut(), run.visits.as_ref()) {
         for record in visits {
             // The serial driver checks the budget before every schedule; the
             // check's outcome only changes when a *counted* schedule lands,
@@ -544,6 +556,17 @@ fn fold_bound(
     if agg.found_bug() && agg.bound_of_first_bug.is_none() {
         agg.bound_of_first_bug = Some(run.bound);
     }
+    explore::note_first_bug(prev_first_bug, agg, &limits.telemetry, program);
+    let fold_hits = replay.as_deref().map(CacheReplay::hits).unwrap_or(0);
+    limits.telemetry.emit(|| Event::BoundLevel {
+        program: program.to_string(),
+        technique: agg.technique.clone(),
+        bound: run.bound as u64,
+        schedules: agg.schedules - fold_base.0,
+        executions: agg.executions - fold_base.1,
+        cache_hits: fold_hits - fold_base.2,
+        new_at_bound,
+    });
     if agg.schedules >= limits.schedule_limit && !finished_bound {
         agg.hit_schedule_limit = true;
         return true;
@@ -594,7 +617,9 @@ pub fn parallel_iterative_bounding(
     if kind == BoundKind::None || (workers == 1 && !stealing_within_levels) {
         return explore::iterative_bounding(program, config, kind, limits);
     }
+    let started = Instant::now();
     let mut agg = ExplorationStats::new(label);
+    let mut degradation_reported = false;
     let stop = AtomicBool::new(false);
     // With caching on, the level workers share one cache: lookups and
     // insertions are transparent memo operations on a deterministic program,
@@ -639,7 +664,20 @@ pub fn parallel_iterative_bounding(
                 if done {
                     continue; // drain cancelled levels
                 }
-                done = fold_bound(&mut agg, &run, limits, replay.as_mut());
+                done = fold_bound(&mut agg, &run, limits, replay.as_mut(), &program.name);
+                if !degradation_reported {
+                    if let Some(r) = &replay {
+                        if r.is_full() {
+                            degradation_reported = true;
+                            limits.telemetry.emit(|| Event::CacheDegraded {
+                                program: program.name.clone(),
+                                technique: agg.technique.clone(),
+                                bytes: r.bytes(),
+                                max_bytes: limits.cache_max_bytes,
+                            });
+                        }
+                    }
+                }
                 if done {
                     stop.store(true, Ordering::Relaxed);
                 }
@@ -657,6 +695,7 @@ pub fn parallel_iterative_bounding(
         agg.cache_hits = replay.hits();
         agg.cache_bytes = replay.bytes();
     }
+    agg.explore_nanos = started.elapsed().as_nanos() as u64;
     agg
 }
 
@@ -670,7 +709,8 @@ pub fn run_technique_parallel(
     limits: &ExploreLimits,
     workers: usize,
 ) -> ExplorationStats {
-    match technique {
+    let started = Instant::now();
+    let mut stats = match technique {
         Technique::Dfs => explore::run_technique(program, config, technique, limits),
         Technique::IterativePreemptionBounding => {
             parallel_iterative_bounding(program, config, BoundKind::Preemption, limits, workers)
@@ -681,7 +721,9 @@ pub fn run_technique_parallel(
         Technique::Random { .. } | Technique::Pct { .. } | Technique::MapleLike { .. } => {
             explore_sharded(program, config, technique, limits, workers)
         }
-    }
+    };
+    stats.explore_nanos = started.elapsed().as_nanos() as u64;
+    stats
 }
 
 #[cfg(test)]

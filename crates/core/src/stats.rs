@@ -4,7 +4,15 @@
 use sct_runtime::{Bug, ExecutionOutcome};
 
 /// Statistics gathered while exploring one program with one technique.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality deliberately ignores the wall-clock fields ([`explore_nanos`],
+/// [`race_nanos`]): the serial≡parallel differential suite asserts stats are
+/// bit-identical across worker counts, and wall-clock time is the one thing
+/// that legitimately differs between those runs.
+///
+/// [`explore_nanos`]: ExplorationStats::explore_nanos
+/// [`race_nanos`]: ExplorationStats::race_nanos
+#[derive(Debug, Clone)]
 pub struct ExplorationStats {
     /// Name of the technique ("IPB", "IDB", "DFS", "Rand", ...).
     pub technique: String,
@@ -59,7 +67,70 @@ pub struct ExplorationStats {
     /// limit: the search *gave up on bounds*, distinguishing this row from
     /// both a truncated and a completed one.
     pub bound_exhausted: bool,
+    /// Wall-clock nanoseconds spent exploring (driver entry to exit).
+    /// Excluded from equality — see the type-level docs.
+    pub explore_nanos: u64,
+    /// Wall-clock nanoseconds the benchmark's phase 1 (dynamic race
+    /// detection, or the static analysis under `--static-phase`) took,
+    /// stamped identically onto every technique row of the benchmark by the
+    /// harness. Excluded from equality — see the type-level docs.
+    pub race_nanos: u64,
 }
+
+/// Field-wise equality over everything *except* the wall-clock fields
+/// (`explore_nanos`, `race_nanos`), which vary run to run. Written as an
+/// exhaustive destructuring so adding a field without deciding whether it
+/// participates in the differential comparisons is a compile error.
+impl PartialEq for ExplorationStats {
+    fn eq(&self, other: &ExplorationStats) -> bool {
+        let ExplorationStats {
+            technique,
+            schedules,
+            schedules_to_first_bug,
+            buggy_schedules,
+            new_schedules_at_final_bound,
+            final_bound,
+            bound_of_first_bug,
+            first_bug,
+            max_enabled_threads,
+            max_scheduling_points,
+            total_threads,
+            diverged_schedules,
+            slept,
+            pruned_by_sleep,
+            executions,
+            cache_hits,
+            cache_bytes,
+            complete,
+            hit_schedule_limit,
+            bound_exhausted,
+            explore_nanos: _,
+            race_nanos: _,
+        } = self;
+        *technique == other.technique
+            && *schedules == other.schedules
+            && *schedules_to_first_bug == other.schedules_to_first_bug
+            && *buggy_schedules == other.buggy_schedules
+            && *new_schedules_at_final_bound == other.new_schedules_at_final_bound
+            && *final_bound == other.final_bound
+            && *bound_of_first_bug == other.bound_of_first_bug
+            && *first_bug == other.first_bug
+            && *max_enabled_threads == other.max_enabled_threads
+            && *max_scheduling_points == other.max_scheduling_points
+            && *total_threads == other.total_threads
+            && *diverged_schedules == other.diverged_schedules
+            && *slept == other.slept
+            && *pruned_by_sleep == other.pruned_by_sleep
+            && *executions == other.executions
+            && *cache_hits == other.cache_hits
+            && *cache_bytes == other.cache_bytes
+            && *complete == other.complete
+            && *hit_schedule_limit == other.hit_schedule_limit
+            && *bound_exhausted == other.bound_exhausted
+    }
+}
+
+impl Eq for ExplorationStats {}
 
 impl ExplorationStats {
     /// Fresh statistics for a technique.
@@ -85,6 +156,8 @@ impl ExplorationStats {
             complete: false,
             hit_schedule_limit: false,
             bound_exhausted: false,
+            explore_nanos: 0,
+            race_nanos: 0,
         }
     }
 
@@ -186,6 +259,10 @@ impl ExplorationStats {
         self.complete = self.complete && other.complete;
         self.hit_schedule_limit = self.hit_schedule_limit || other.hit_schedule_limit;
         self.bound_exhausted = self.bound_exhausted || other.bound_exhausted;
+        // Shards run concurrently, so wall-clock folds as a high-water mark
+        // (the aggregate took as long as its slowest shard), not a sum.
+        self.explore_nanos = self.explore_nanos.max(other.explore_nanos);
+        self.race_nanos = self.race_nanos.max(other.race_nanos);
     }
 
     /// Whether at least one bug was found.
@@ -355,6 +432,28 @@ mod tests {
         a.merge(&c);
         assert_eq!(a.final_bound, Some(3));
         assert_eq!(a.new_schedules_at_final_bound, 12);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_fields() {
+        let mut a = ExplorationStats::new("IDB");
+        a.record(&outcome(true, false));
+        let mut b = a.clone();
+        b.explore_nanos = 123_456_789;
+        b.race_nanos = 42;
+        assert_eq!(a, b, "timing must not participate in differential equality");
+        b.schedules += 1;
+        assert_ne!(a, b, "non-timing fields still compare");
+
+        // merge() keeps the slowest shard's wall clock.
+        let mut m = a.clone();
+        m.explore_nanos = 10;
+        let mut n = a.clone();
+        n.explore_nanos = 30;
+        n.race_nanos = 7;
+        m.merge(&n);
+        assert_eq!(m.explore_nanos, 30);
+        assert_eq!(m.race_nanos, 7);
     }
 
     #[test]

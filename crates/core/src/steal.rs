@@ -64,12 +64,14 @@ use crate::dfs::{BoundedDfs, SubtreeSeed};
 use crate::explore::{self, ExploreLimits};
 use crate::scheduler::Scheduler;
 use crate::stats::ExplorationStats;
+use crate::telemetry::{Event, Telemetry};
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 use std::thread;
+use std::time::Instant;
 
 /// One completed execution, in its producing task's local order.
 struct Item {
@@ -246,6 +248,10 @@ struct WorkerCtx<'a> {
     /// The caller's cross-level cancellation flag, promoted to
     /// [`Engine::stop`] when observed.
     external_stop: Option<&'a AtomicBool>,
+    /// Telemetry handle for donation/theft/idle events. Events are
+    /// observations only — workers never read telemetry state, so the folded
+    /// results cannot depend on it.
+    telemetry: &'a Telemetry,
 }
 
 impl WorkerCtx<'_> {
@@ -279,7 +285,10 @@ const PRODUCER_WINDOW: usize = 4 * EMIT_BATCH;
 
 /// Worker loop: claim tasks, explore them execution by execution, donate
 /// sibling bundles when other workers starve, and stream entries back.
-fn worker(ctx: &WorkerCtx<'_>) {
+///
+/// `who` is the worker's index within its pool, used only to label telemetry
+/// events; it never influences claiming or exploration.
+fn worker(ctx: &WorkerCtx<'_>, who: u64) {
     let engine = ctx.engine;
     let mut exec = Execution::new_shared(ctx.program, ctx.config);
     'tasks: loop {
@@ -297,10 +306,31 @@ fn worker(ctx: &WorkerCtx<'_>) {
                     break (id, seed);
                 }
                 engine.idle.fetch_add(1, Ordering::Relaxed);
+                // Recorders never touch the engine, so emitting while holding
+                // its lock cannot deadlock.
+                ctx.telemetry.emit(|| Event::WorkerIdle {
+                    program: ctx.program.name.clone(),
+                    worker: who,
+                    idle: true,
+                });
                 st = engine.work_cv.wait(st).expect("engine state poisoned");
                 engine.idle.fetch_sub(1, Ordering::Relaxed);
+                ctx.telemetry.emit(|| Event::WorkerIdle {
+                    program: ctx.program.name.clone(),
+                    worker: who,
+                    idle: false,
+                });
             }
         };
+        if seed.is_some() {
+            // A present seed means this task was donated by another worker and
+            // is now being claimed — a completed theft.
+            ctx.telemetry.emit(|| Event::StealTheft {
+                program: ctx.program.name.clone(),
+                worker: who,
+                task: task_id as u64,
+            });
+        }
         let mut sched = BoundedDfs::new(ctx.kind.policy(), ctx.bound).with_sleep_sets(ctx.por);
         if let Some(seed) = seed {
             sched.seed_subtree(seed);
@@ -332,6 +362,12 @@ fn worker(ctx: &WorkerCtx<'_>) {
                 {
                     if let Some((seed, depth)) = sched.donate_oldest_subtree() {
                         let id = engine.spawn_task(seed);
+                        ctx.telemetry.emit(|| Event::StealDonate {
+                            program: ctx.program.name.clone(),
+                            worker: who,
+                            task: id as u64,
+                            depth: depth as u64,
+                        });
                         donated.push((depth, id));
                     }
                 }
@@ -509,6 +545,7 @@ pub fn explore_bounded_stealing_digests(
         };
         return (stats, digests);
     }
+    let started = Instant::now();
     let name = BoundedDfs::new(kind.policy(), bound)
         .with_sleep_sets(limits.por)
         .name();
@@ -531,10 +568,12 @@ pub fn explore_bounded_stealing_digests(
         want_trace: corpus.is_some(),
         cache: corpus.as_deref().map(SharedCache::live),
         external_stop: None,
+        telemetry: &limits.telemetry,
     };
     thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker(&ctx));
+        let ctx = &ctx;
+        for who in 0..workers {
+            scope.spawn(move || worker(ctx, who as u64));
         }
         let mut fold = Fold::new(&engine);
         // Serial-order execution accounting: without a corpus every folded
@@ -564,9 +603,21 @@ pub fn explore_bounded_stealing_digests(
                     stats.slept += item.begin_slept;
                     stats.pruned_by_sleep += item.ran_pruned_by_sleep;
                     if !item.redundant {
+                        let prev = stats.schedules_to_first_bug;
                         item.digest.record_into(&mut stats);
+                        explore::note_first_bug(prev, &stats, &limits.telemetry, &program.name);
                         digests.push(item.digest);
                     }
+                    // The live mirror is mutably captured by `charge`, so the
+                    // beacon reports hits as 0; the technique-level summary
+                    // carries the real figure.
+                    limits.telemetry.progress(|| Event::Progress {
+                        program: program.name.clone(),
+                        technique: stats.technique.clone(),
+                        schedules: stats.schedules,
+                        executions: stats.executions,
+                        cache_hits: 0,
+                    });
                 }
             }
         }
@@ -611,6 +662,7 @@ pub fn explore_bounded_stealing_digests(
         stats.cache_hits = m.hits();
         stats.cache_bytes = m.bytes();
     }
+    stats.explore_nanos = started.elapsed().as_nanos() as u64;
     (stats, digests)
 }
 
@@ -738,6 +790,7 @@ pub(crate) fn run_level_stealing(
         want_trace: shared_cache.is_some(),
         cache: shared_cache,
         external_stop: Some(stop),
+        telemetry: &limits.telemetry,
     };
     let mut items: Vec<LevelItem> = Vec::new();
     let (mut counted, mut executions) = (0u64, 0u64);
@@ -745,8 +798,9 @@ pub(crate) fn run_level_stealing(
     let mut pruned = false;
     let mut complete = false;
     thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker(&ctx));
+        let ctx = &ctx;
+        for who in 0..workers {
+            scope.spawn(move || worker(ctx, who as u64));
         }
         let mut fold = Fold::new(&engine);
         while counted < cap && !stop.load(Ordering::Relaxed) {

@@ -20,13 +20,18 @@
 //! `--static-phase` replaces the dynamic race-detection runs with the
 //! `sct-analysis` static race candidates (a sound over-approximation),
 //! promoting those locations to visible operations instead.
+//! `--trace PATH` streams every telemetry event (technique and bound-level
+//! progress, steal donations/thefts, cache summaries, corpus activity, bug
+//! discoveries) as line-delimited JSON to PATH, and `--quiet` suppresses the
+//! once-a-second stderr heartbeat; stdout carries only the rendered tables
+//! either way.
 //!
 //! The paper's configuration is `--schedules 10000 --race-runs 10`; the
 //! default here is a laptop-friendly 2,000 schedules.
 
 use sct_harness::{
-    cli, experiments_markdown, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1,
-    table2, table3, table3_csv,
+    cli, experiments_markdown, fig2a, fig2b, figures, perf_json, pipeline::HarnessConfig,
+    run_study, table1, table2, table3, table3_csv,
 };
 use std::path::PathBuf;
 
@@ -70,8 +75,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    args.config.telemetry = match cli::build_telemetry(&args.config) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -161,6 +173,7 @@ fn main() {
     );
     write("fig3.csv", figures::scatter_fig3(&results));
     write("fig4.csv", figures::scatter_fig4(&results));
+    write("perf.json", perf_json(&results));
     write("EXPERIMENTS.md", experiments_markdown(&results));
 
     // Console summary.

@@ -2,7 +2,7 @@
 //! static-analysis lint catalogue, or replay a recorded bug corpus.
 //!
 //! ```text
-//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay> [common flags]
+//! sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay|validate-trace> [common flags]
 //! ```
 //!
 //! The common flags are shared with `sct-experiments` (see
@@ -18,9 +18,17 @@
 //! `replay` takes `--corpus-dir DIR` and re-runs every bug prefix recorded
 //! there ("campaign mode" artifacts, see `sct_core::corpus`): each prefix
 //! must reproduce its recorded bug in exactly one program execution, and the
-//! exit status is non-zero if any does not.
+//! exit status is non-zero if any does not. Per-record verdicts go to stdout
+//! (they are the machine-checkable output); the closing summary goes to
+//! stderr with the other status lines.
+//!
+//! `validate-trace` takes `--trace PATH` and checks every line of a JSONL
+//! event trace (as written by `--trace` on either binary) against the event
+//! schema, printing the first offending line and exiting non-zero on any
+//! mismatch — a self-contained schema check with no external JSON tooling.
 
 use sct_core::corpus::{replay_prefix, Corpus, CorpusError};
+use sct_core::telemetry::{validate_trace_line, Event, Telemetry};
 use sct_harness::{
     cli, fig2a, fig2b, figures, pipeline::HarnessConfig, run_study, table1, table2, table3,
 };
@@ -29,9 +37,26 @@ use std::path::Path;
 
 fn usage() -> String {
     format!(
-        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay> {}",
+        "usage: sct-table <table1|table2|table3|fig2a|fig2b|fig3|fig4|lint|replay|validate-trace> {}",
         cli::COMMON_USAGE
     )
+}
+
+/// Validate a JSONL event trace against the schema: every line must be a
+/// well-formed event object of a known type with exactly the declared
+/// fields. Returns the number of validated events, or the first offence.
+fn validate_trace(path: &Path) -> Result<usize, String> {
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut events = 0usize;
+    for (i, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_trace_line(line).map_err(|e| format!("line {}: {e}: {line}", i + 1))?;
+        events += 1;
+    }
+    Ok(events)
 }
 
 /// Print the static-analysis report for every benchmark matching the filter.
@@ -49,7 +74,11 @@ fn lint(filter: Option<&str>) {
 
 /// Replay every recorded bug prefix in the corpus directory, each in exactly
 /// one execution. Returns whether all of them reproduced their bug.
-fn replay_corpus(dir: &Path) -> Result<bool, CorpusError> {
+///
+/// Per-record verdict lines stay on stdout — they are what callers (and CI)
+/// parse — while the human-facing summary joins the other status lines on
+/// stderr.
+fn replay_corpus(dir: &Path, telemetry: &Telemetry) -> Result<bool, CorpusError> {
     let corpus = Corpus::open(dir)?;
     let corpora = corpus.bug_corpora()?;
     let mut all_reproduced = true;
@@ -65,6 +94,12 @@ fn replay_corpus(dir: &Path) -> Result<bool, CorpusError> {
             total += 1;
             let outcome = replay_prefix(&program, &bugs.config, &record.prefix);
             let reproduced = outcome.bug.as_ref() == Some(&record.bug);
+            telemetry.emit(|| Event::CorpusReplay {
+                benchmark: bugs.benchmark.clone(),
+                bug: record.bug.to_string(),
+                decisions: record.prefix.len() as u64,
+                reproduced,
+            });
             println!(
                 "{}: {:?} ({} decisions): {}",
                 bugs.benchmark,
@@ -79,7 +114,7 @@ fn replay_corpus(dir: &Path) -> Result<bool, CorpusError> {
             all_reproduced &= reproduced;
         }
     }
-    println!(
+    eprintln!(
         "replayed {total} bug prefix(es) from {} corpus file(s)",
         corpora.len()
     );
@@ -116,6 +151,34 @@ fn main() {
         }
     }
 
+    // `validate-trace` treats `--trace` as an *input* path, so it must run
+    // before `build_telemetry` — which would truncate that very file to open
+    // it as a sink.
+    if what == "validate-trace" {
+        let Some(path) = config.trace.as_deref() else {
+            eprintln!("validate-trace requires --trace PATH");
+            std::process::exit(2);
+        };
+        match validate_trace(path) {
+            Ok(events) => {
+                eprintln!("{}: {events} valid event(s)", path.display());
+                return;
+            }
+            Err(e) => {
+                eprintln!("invalid trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    config.telemetry = match cli::build_telemetry(&config) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
     if what == "table1" {
         print!("{}", table1());
         return;
@@ -131,7 +194,7 @@ fn main() {
             eprintln!("replay requires --corpus-dir DIR");
             std::process::exit(2);
         };
-        match replay_corpus(dir) {
+        match replay_corpus(dir, &config.telemetry) {
             Ok(true) => return,
             Ok(false) => std::process::exit(1),
             Err(e) => {

@@ -6,13 +6,15 @@
 //! without hand-duplicated match arms that can drift apart.
 
 use crate::pipeline::HarnessConfig;
+use sct_core::telemetry::{Heartbeat, JsonlRecorder, Recorder, Telemetry};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Usage fragment for the shared study flags, in match order. The binaries
 /// splice this into their usage strings so the flag lists cannot go stale.
 pub const COMMON_USAGE: &str = "[--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR] \
 [--no-race-phase] [--static-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] \
-[--steal-workers N] [--corpus-dir DIR] [--resume]";
+[--steal-workers N] [--corpus-dir DIR] [--resume] [--trace PATH] [--quiet]";
 
 fn value(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<String, String> {
     rest.next()
@@ -74,9 +76,38 @@ pub fn parse_common_flag(
         }
         "--corpus-dir" => config.corpus_dir = Some(PathBuf::from(value(rest, "--corpus-dir")?)),
         "--resume" => config.resume = true,
+        // Only the path is recorded here; the trace file is opened once, by
+        // `build_telemetry`, after parsing finishes — so a repeated `--trace`
+        // follows last-wins like every other flag instead of creating (and
+        // leaking) a file per occurrence.
+        "--trace" => config.trace = Some(PathBuf::from(value(rest, "--trace")?)),
+        "--quiet" => config.quiet = true,
         _ => return Ok(false),
     }
     Ok(true)
+}
+
+/// Build the telemetry handle a parsed [`HarnessConfig`] asks for: a JSONL
+/// recorder writing to `--trace`'s path (the file is created here, truncating
+/// any previous run) and — unless `--quiet` — a stderr progress heartbeat
+/// printing at most once a second. With neither, the handle is
+/// [`Telemetry::off`] and every emission in the pipeline is free. The result
+/// should be stored into [`HarnessConfig::telemetry`] before the study runs.
+pub fn build_telemetry(config: &HarnessConfig) -> Result<Telemetry, String> {
+    let mut recorders: Vec<Box<dyn Recorder>> = Vec::new();
+    if let Some(path) = &config.trace {
+        let jsonl =
+            JsonlRecorder::create(path).map_err(|e| format!("--trace {}: {e}", path.display()))?;
+        recorders.push(Box::new(jsonl));
+    }
+    // The heartbeat is on by default — it is the liveness signal for long
+    // studies — and `--quiet` removes it. `Telemetry::new` of an empty
+    // recorder list collapses to the off handle, so `--quiet` without
+    // `--trace` pays nothing.
+    if !config.quiet {
+        recorders.push(Box::new(Heartbeat::new(Duration::from_secs(1))));
+    }
+    Ok(Telemetry::new(recorders))
 }
 
 #[cfg(test)]
@@ -119,6 +150,9 @@ mod tests {
             "--corpus-dir",
             "corpus",
             "--resume",
+            "--trace",
+            "events.jsonl",
+            "--quiet",
         ])
         .unwrap();
         assert_eq!(config.schedule_limit, 123);
@@ -134,6 +168,8 @@ mod tests {
         assert_eq!(config.steal_workers, 8);
         assert_eq!(config.corpus_dir.as_deref(), Some(Path::new("corpus")));
         assert!(config.resume);
+        assert_eq!(config.trace.as_deref(), Some(Path::new("events.jsonl")));
+        assert!(config.quiet);
     }
 
     #[test]
@@ -165,6 +201,51 @@ mod tests {
         assert_eq!(config.schedule_limit, 9);
         assert_eq!(filter.as_deref(), Some("second"));
         assert_eq!(config.corpus_dir.as_deref(), Some(Path::new("b")));
+    }
+
+    #[test]
+    fn duplicated_trace_and_quiet_flags_are_last_wins() {
+        // `--trace` only records the path at parse time (the file is opened
+        // later, by `build_telemetry`), so repeating it must follow the same
+        // last-wins convention as every other flag — no file is created for
+        // the overridden occurrence. `--quiet` is idempotent.
+        let (config, _) = parse(&[
+            "--trace",
+            "first.jsonl",
+            "--quiet",
+            "--trace",
+            "second.jsonl",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(config.trace.as_deref(), Some(Path::new("second.jsonl")));
+        assert!(config.quiet);
+        assert!(
+            !Path::new("first.jsonl").exists() && !Path::new("second.jsonl").exists(),
+            "parsing alone must not open trace files"
+        );
+    }
+
+    #[test]
+    fn build_telemetry_is_off_for_quiet_untraced_runs() {
+        let mut config = HarnessConfig {
+            quiet: true,
+            ..HarnessConfig::default()
+        };
+        assert!(!build_telemetry(&config).unwrap().is_on());
+        // Default (not quiet, no trace): the heartbeat alone keeps it on.
+        config.quiet = false;
+        assert!(build_telemetry(&config).unwrap().is_on());
+    }
+
+    #[test]
+    fn build_telemetry_reports_unwritable_trace_paths() {
+        let config = HarnessConfig {
+            trace: Some(PathBuf::from("/nonexistent-dir/trace.jsonl")),
+            ..HarnessConfig::default()
+        };
+        let err = build_telemetry(&config).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
     }
 
     #[test]
@@ -210,6 +291,8 @@ mod tests {
             "--steal-workers",
             "--corpus-dir",
             "--resume",
+            "--trace",
+            "--quiet",
         ] {
             assert!(COMMON_USAGE.contains(flag), "{flag} missing from usage");
         }

@@ -196,6 +196,7 @@ mod tests {
             steal_workers: 1,
             corpus_dir: None,
             resume: false,
+            ..Default::default()
         };
         run_study(&config, Some("splash2")).unwrap()
     }

@@ -19,12 +19,14 @@
 
 pub mod cli;
 pub mod figures;
+pub mod perf;
 pub mod pipeline;
 pub mod report;
 pub mod tables;
 
-pub use cli::{parse_common_flag, COMMON_USAGE};
+pub use cli::{build_telemetry, parse_common_flag, COMMON_USAGE};
 pub use figures::{fig2a, fig2b, scatter_fig3, scatter_fig4, VennCounts};
+pub use perf::perf_json;
 pub use pipeline::{run_benchmark, run_study, BenchmarkResult, HarnessConfig, StudyResults};
 pub use report::experiments_markdown;
 pub use tables::{table1, table2, table3, table3_csv};

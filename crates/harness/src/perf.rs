@@ -1,0 +1,111 @@
+//! Machine-readable per-study performance summary (`perf.json`).
+//!
+//! `sct-experiments` writes one `perf.json` per study next to the tables: a
+//! single JSON object with one point per benchmark × technique carrying the
+//! raw counters (schedules, executions), the per-phase wall clock
+//! (`wall_nanos` for the exploration, `race_nanos` for phase 1) and the
+//! derived throughput rates. The file exists so performance tracking across
+//! runs — schedules/sec per worker configuration — needs no parsing of the
+//! human tables; timing never feeds back into any differential comparison.
+
+use crate::pipeline::StudyResults;
+use sct_core::telemetry::json_string;
+use std::fmt::Write as _;
+
+/// Throughput in events per second, `0.0` when no time was observed (the
+/// stamp resolution undershot the work, or the point is empty).
+fn per_sec(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        return 0.0;
+    }
+    count as f64 / (nanos as f64 / 1e9)
+}
+
+/// Render the study's performance points as a JSON document.
+///
+/// Shape:
+///
+/// ```json
+/// {
+///   "schedule_limit": 2000,
+///   "workers": 4,
+///   "steal_workers": 1,
+///   "points": [
+///     {"benchmark": "CS.reorder_3", "technique": "IPB", "workers": 4,
+///      "steal_workers": 1, "schedules": 252, "executions": 252,
+///      "wall_nanos": 1200345, "race_nanos": 80021,
+///      "schedules_per_sec": 209939.9, "executions_per_sec": 209939.9}
+///   ]
+/// }
+/// ```
+pub fn perf_json(results: &StudyResults) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"schedule_limit\":{},\"workers\":{},\"steal_workers\":{},\"points\":[",
+        results.schedule_limit, results.workers, results.steal_workers
+    );
+    let mut first = true;
+    for b in &results.benchmarks {
+        for t in &b.techniques {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"benchmark\":{},\"technique\":{},\"workers\":{},\"steal_workers\":{},\
+                 \"schedules\":{},\"executions\":{},\"wall_nanos\":{},\"race_nanos\":{},\
+                 \"schedules_per_sec\":{:.1},\"executions_per_sec\":{:.1}}}",
+                json_string(&b.name),
+                json_string(&t.technique),
+                results.workers,
+                results.steal_workers,
+                t.schedules,
+                t.executions,
+                t.explore_nanos,
+                t.race_nanos,
+                per_sec(t.schedules, t.explore_nanos),
+                per_sec(t.executions, t.explore_nanos),
+            );
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_study, HarnessConfig};
+
+    #[test]
+    fn perf_json_has_one_point_per_benchmark_technique_pair() {
+        let config = HarnessConfig {
+            schedule_limit: 100,
+            race_runs: 3,
+            workers: 2,
+            ..Default::default()
+        };
+        let results = run_study(&config, Some("splash2")).unwrap();
+        let json = perf_json(&results);
+        // 3 splash2 benchmarks × 5 techniques.
+        assert_eq!(json.matches("\"benchmark\":").count(), 15);
+        assert_eq!(json.matches("\"schedules_per_sec\":").count(), 15);
+        assert!(json.contains("\"workers\":2"));
+        // Exploration actually took time, so at least one stamp is nonzero.
+        assert!(
+            results.benchmarks[0]
+                .techniques
+                .iter()
+                .any(|t| t.explore_nanos > 0),
+            "explore_nanos never stamped"
+        );
+    }
+
+    #[test]
+    fn rates_degrade_to_zero_without_observed_time() {
+        assert_eq!(per_sec(100, 0), 0.0);
+        assert!((per_sec(10, 1_000_000_000) - 10.0).abs() < 1e-9);
+    }
+}

@@ -2,12 +2,14 @@
 
 use sct_core::corpus::{corpus_key, harvest_bugs, BugCorpus, Corpus, CorpusError};
 use sct_core::stats::ExplorationStats;
+use sct_core::telemetry::{Event, Telemetry};
 use sct_core::{default_workers, explore, map_indexed, ExploreLimits, SharedCache, Technique};
 use sct_race::{race_detection_phase, RacePhaseConfig};
 use sct_runtime::ExecConfig;
 use sctbench::{all_benchmarks, BenchmarkSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a study run.
 #[derive(Debug, Clone)]
@@ -67,6 +69,22 @@ pub struct HarnessConfig {
     /// a different exploration configuration is a hard error, never a
     /// silent cold start.
     pub resume: bool,
+    /// Path the structured JSONL event trace is written to (`--trace`).
+    /// `None` (the default) disables tracing. The path itself is only
+    /// consumed by [`crate::cli::build_telemetry`]; the pipeline emits
+    /// through [`HarnessConfig::telemetry`].
+    pub trace: Option<PathBuf>,
+    /// Suppress the rate-limited stderr progress heartbeat (`--quiet`).
+    /// Like [`HarnessConfig::trace`], this only steers
+    /// [`crate::cli::build_telemetry`].
+    pub quiet: bool,
+    /// The telemetry handle every pipeline stage emits events through.
+    /// `Telemetry::off()` (the default) makes each emission a no-op whose
+    /// event is never even constructed, so an untraced study pays nothing.
+    /// Events are observations only: nothing in the pipeline reads them
+    /// back, so the study's statistics are bit-identical with tracing on
+    /// or off.
+    pub telemetry: Telemetry,
 }
 
 impl Default for HarnessConfig {
@@ -84,6 +102,9 @@ impl Default for HarnessConfig {
             steal_workers: 1,
             corpus_dir: None,
             resume: false,
+            trace: None,
+            quiet: false,
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -167,6 +188,10 @@ pub struct StudyResults {
     pub por: bool,
     /// Whether iterative bounding ran with the schedule cache.
     pub cache: bool,
+    /// Outer benchmark/technique worker count the study ran with.
+    pub workers: usize,
+    /// Within-technique steal worker count the study ran with.
+    pub steal_workers: usize,
 }
 
 /// The techniques a study run uses, in Table 3 column order.
@@ -200,6 +225,10 @@ pub fn run_benchmark(
     spec: &BenchmarkSpec,
     config: &HarnessConfig,
 ) -> Result<BenchmarkResult, CorpusError> {
+    let bench_started = Instant::now();
+    config.telemetry.emit(|| Event::BenchmarkStart {
+        benchmark: spec.name.to_string(),
+    });
     let program = spec.program();
 
     // Static triage always runs: it is microseconds per benchmark and its
@@ -211,8 +240,9 @@ pub fn run_benchmark(
     // replacement. `--static-phase` skips the 10 uncontrolled runs and
     // promotes the analyzer's candidate locations instead, which are a sound
     // superset of what the dynamic phase can find.
-    let (races, racy) = if config.static_phase {
-        (0, static_locations.iter().copied().collect::<Vec<_>>())
+    let phase_started = Instant::now();
+    let (races, race_runs, racy) = if config.static_phase {
+        (0, 0, static_locations.iter().copied().collect::<Vec<_>>())
     } else {
         let race_config = RacePhaseConfig {
             runs: config.race_runs,
@@ -221,8 +251,20 @@ pub fn run_benchmark(
         };
         let report = race_detection_phase(&program, &race_config);
         let racy = report.racy_locations().into_iter().collect::<Vec<_>>();
-        (report.races.len(), racy)
+        (report.races.len(), report.executions, racy)
     };
+    // Phase-1 wall clock, stamped onto every technique row below so the CSV
+    // carries it; zero under `--static-phase` would misattribute the (cheap)
+    // analyzer run, so the measured value covers whichever branch ran.
+    let race_nanos = phase_started.elapsed().as_nanos() as u64;
+    config.telemetry.emit(|| Event::RacePhase {
+        benchmark: spec.name.to_string(),
+        runs: race_runs as u64,
+        races: races as u64,
+        racy_locations: racy.len() as u64,
+        static_phase: config.static_phase,
+        wall_nanos: race_nanos,
+    });
 
     // Phase 2: the exploration techniques, all sharing the same racy-location
     // information (as the paper stresses, the race results are shared so the
@@ -246,6 +288,13 @@ pub fn run_benchmark(
                 true => c.load_cache(spec.name, key)?,
                 false => None,
             };
+            if let Some(cache) = &loaded {
+                config.telemetry.emit(|| Event::CorpusLoaded {
+                    benchmark: spec.name.to_string(),
+                    bytes: cache.bytes(),
+                    buggy_schedules: cache.buggy_schedules().len() as u64,
+                });
+            }
             Some(Arc::new(SharedCache::of(loaded.unwrap_or_default())))
         }
         None => None,
@@ -254,23 +303,62 @@ pub fn run_benchmark(
         .with_por(config.por)
         .with_cache(config.cache)
         .with_steal_workers(config.steal_workers)
-        .with_shared_cache(shared.clone());
+        .with_shared_cache(shared.clone())
+        .with_telemetry(config.telemetry.clone());
+    let caching = config.cache || shared.is_some();
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
+        config.telemetry.emit(|| Event::TechniqueStart {
+            benchmark: spec.name.to_string(),
+            technique: t.label().to_string(),
+        });
         let mut stats = explore::run_technique(&program, &exec_config, t, &limits);
         stats.technique = t.label().to_string();
+        stats.race_nanos = race_nanos;
+        config.telemetry.emit(|| Event::TechniqueFinish {
+            benchmark: spec.name.to_string(),
+            technique: stats.technique.clone(),
+            schedules: stats.schedules,
+            executions: stats.executions,
+            cache_hits: stats.cache_hits,
+            found_bug: stats.found_bug(),
+            wall_nanos: stats.explore_nanos,
+        });
+        if caching {
+            config.telemetry.emit(|| Event::CacheSummary {
+                program: program.name.clone(),
+                technique: stats.technique.clone(),
+                hits: stats.cache_hits,
+                bytes: stats.cache_bytes,
+                full: stats.cache_bytes >= limits.cache_max_bytes,
+            });
+        }
         stats
     });
 
     if let (Some(c), Some(shared)) = (&corpus, &shared) {
-        let (saved, records) = shared.with_live(|cache| {
+        let (saved, records, trie_bytes) = shared.with_live(|cache| {
             (
                 c.save_cache(spec.name, key, cache),
                 harvest_bugs(&program, &exec_config, cache),
+                cache.bytes(),
             )
         });
         saved?;
+        for r in &records {
+            config.telemetry.emit(|| Event::BugRecorded {
+                benchmark: spec.name.to_string(),
+                bug: r.bug.to_string(),
+                decisions: r.prefix.len() as u64,
+                prefix: r.prefix.iter().map(|t| t.0 as u64).collect(),
+            });
+        }
+        config.telemetry.emit(|| Event::CorpusSaved {
+            benchmark: spec.name.to_string(),
+            bytes: trie_bytes,
+            bugs: records.len() as u64,
+        });
         c.save_bugs(&BugCorpus {
             benchmark: spec.name.to_string(),
             config: exec_config.clone(),
@@ -278,6 +366,10 @@ pub fn run_benchmark(
         })?;
     }
 
+    config.telemetry.emit(|| Event::BenchmarkFinish {
+        benchmark: spec.name.to_string(),
+        wall_nanos: bench_started.elapsed().as_nanos() as u64,
+    });
     Ok(BenchmarkResult {
         id: spec.id,
         name: spec.name.to_string(),
@@ -303,6 +395,7 @@ pub fn run_study(
     config: &HarnessConfig,
     filter: Option<&str>,
 ) -> Result<StudyResults, CorpusError> {
+    let study_started = Instant::now();
     let specs: Vec<BenchmarkSpec> = all_benchmarks()
         .into_iter()
         .filter(|spec| match filter {
@@ -310,6 +403,13 @@ pub fn run_study(
             None => true,
         })
         .collect();
+    config.telemetry.emit(|| Event::StudyStart {
+        benchmarks: specs.len() as u64,
+        techniques: study_techniques(config).len() as u64,
+        schedule_limit: config.schedule_limit,
+        workers: config.workers.max(1) as u64,
+        steal_workers: config.steal_workers.max(1) as u64,
+    });
     let workers = config.workers.max(1);
     let outer = workers.min(specs.len().max(1));
     // Leftover parallelism goes to the technique fan-out inside each
@@ -324,11 +424,17 @@ pub fn run_study(
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    config.telemetry.emit(|| Event::StudyFinish {
+        benchmarks: benchmarks.len() as u64,
+        wall_nanos: study_started.elapsed().as_nanos() as u64,
+    });
     Ok(StudyResults {
         benchmarks,
         schedule_limit: config.schedule_limit,
         por: config.por,
         cache: config.cache,
+        workers: config.workers.max(1),
+        steal_workers: config.steal_workers.max(1),
     })
 }
 
@@ -351,6 +457,9 @@ mod tests {
             steal_workers: 1,
             corpus_dir: None,
             resume: false,
+            trace: None,
+            quiet: false,
+            telemetry: Telemetry::off(),
         }
     }
 

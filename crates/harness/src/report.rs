@@ -107,6 +107,32 @@ pub fn experiments_markdown(results: &StudyResults) -> String {
         );
     }
 
+    // Per-phase wall-clock timing. Milliseconds with one decimal: the
+    // benchmarks span microseconds to seconds, and finer precision would
+    // suggest a stability the stamps don't have.
+    let _ = writeln!(out, "\n## Per-phase timing\n");
+    let _ = writeln!(
+        out,
+        "Wall-clock milliseconds per pipeline phase (race-detection phase 1, then each\n\
+         technique's exploration). Timing is observational only — it is excluded from\n\
+         every equality and differential comparison; `perf.json` carries the same data\n\
+         with derived schedules/sec rates.\n"
+    );
+    let _ = writeln!(out, "| benchmark | race phase | technique | exploration |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for bench in &results.benchmarks {
+        for t in &bench.techniques {
+            let _ = writeln!(
+                out,
+                "| {} | {:.1} | {} | {:.1} |",
+                bench.name,
+                t.race_nanos as f64 / 1e6,
+                t.technique,
+                t.explore_nanos as f64 / 1e6,
+            );
+        }
+    }
+
     // Raw Table 3.
     let _ = writeln!(out, "\n## Table 3 — raw measured results\n");
     let _ = writeln!(out, "```");
@@ -135,6 +161,7 @@ mod tests {
             steal_workers: 1,
             corpus_dir: None,
             resume: false,
+            ..Default::default()
         };
         let results = run_study(&config, Some("splash2")).unwrap();
         let md = experiments_markdown(&results);
@@ -143,6 +170,7 @@ mod tests {
             "Figure 2 — bug-finding overlap",
             "Table 2 — trivial benchmarks",
             "Per-benchmark comparison",
+            "Per-phase timing",
             "Table 3 — raw measured results",
             "splash2.barnes",
             "splash2.fft",

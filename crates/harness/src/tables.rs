@@ -142,18 +142,19 @@ pub fn table3(results: &StudyResults) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7}",
+        "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7} | {:>8}",
         "benchmark", "thr", "en", "sp",
         "PB", "first", "total", "new", "buggy",
         "DB", "first", "total", "new", "buggy",
         "first", "total", "buggy",
         "first", "buggy",
-        "found", "scheds"
+        "found", "scheds",
+        "ms"
     );
     let _ = writeln!(
         out,
-        "{:<28} {:>3} {:>4} {:>6} | {:^35} | {:^35} | {:^22} | {:^14} | {:^13}",
-        "", "", "", "", "IPB", "IDB", "DFS", "Rand", "MapleAlg"
+        "{:<28} {:>3} {:>4} {:>6} | {:^35} | {:^35} | {:^22} | {:^14} | {:^13} | {:^8}",
+        "", "", "", "", "IPB", "IDB", "DFS", "Rand", "MapleAlg", "wall"
     );
     for b in &results.benchmarks {
         let ipb = b.technique("IPB");
@@ -161,9 +162,13 @@ pub fn table3(results: &StudyResults) -> String {
         let dfs = b.technique("DFS");
         let rand = b.technique("Rand");
         let maple = b.technique("MapleAlg");
+        // Whole-row wall clock: phase 1 once (every technique row carries the
+        // same stamp) plus each technique's exploration time.
+        let wall_nanos = b.techniques.first().map(|t| t.race_nanos).unwrap_or(0)
+            + b.techniques.iter().map(|t| t.explore_nanos).sum::<u64>();
         let _ = writeln!(
             out,
-            "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7}",
+            "{:<28} {:>3} {:>4} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>3} {:>7} {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>6} | {:>5} {:>7} | {:>8.1}",
             b.name,
             b.threads(),
             b.max_enabled(),
@@ -185,24 +190,31 @@ pub fn table3(results: &StudyResults) -> String {
             rand.map(|s| s.buggy_schedules.to_string()).unwrap_or_default(),
             maple.map(|s| if s.found_bug() { "yes" } else { "no" }.to_string()).unwrap_or_default(),
             maple.map(|s| s.schedules.to_string()).unwrap_or_default(),
+            wall_nanos as f64 / 1e6,
         );
     }
     out
 }
 
 /// Table 3 as machine-readable CSV (one row per benchmark/technique pair).
+///
+/// The two wall-clock columns come last so consumers that compare runs can
+/// keep cutting the deterministic prefix (`cut -d, -f1-22` in CI): timing is
+/// the one part of a row that legitimately differs between identical
+/// explorations.
 pub fn table3_csv(results: &StudyResults) -> String {
     let mut out = String::from(
         "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
          static_candidates,static_locations,\
          bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,\
-         slept,pruned_by_sleep,complete,hit_limit,bound_exhausted,executions,cache_hits,cache_bytes\n",
+         slept,pruned_by_sleep,complete,hit_limit,bound_exhausted,executions,cache_hits,cache_bytes,\
+         explore_nanos,race_nanos\n",
     );
     for b in &results.benchmarks {
         for t in &b.techniques {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 b.id,
                 b.name,
                 b.suite,
@@ -228,6 +240,8 @@ pub fn table3_csv(results: &StudyResults) -> String {
                 t.executions,
                 t.cache_hits,
                 t.cache_bytes,
+                t.explore_nanos,
+                t.race_nanos,
             );
         }
     }
@@ -253,6 +267,7 @@ mod tests {
             steal_workers: 1,
             corpus_dir: None,
             resume: false,
+            ..Default::default()
         };
         run_study(&config, Some("splash2")).unwrap()
     }

@@ -27,6 +27,10 @@ pub struct RaceReport {
     pub races: BTreeSet<ReportedRace>,
     /// Number of executions that contributed to this report.
     pub executions: usize,
+    /// Wall-clock nanoseconds spent producing this report. Timing is an
+    /// observation only: it is excluded from every equality or differential
+    /// comparison downstream, mirroring `ExplorationStats`.
+    pub nanos: u64,
 }
 
 impl RaceReport {
@@ -45,6 +49,8 @@ impl RaceReport {
     pub fn merge(&mut self, other: &RaceReport) {
         self.races.extend(other.races.iter().copied());
         self.executions += other.executions;
+        // Merged reports come from sequential runs, so wall-clock adds up.
+        self.nanos += other.nanos;
     }
 
     /// True when no race was observed.
@@ -113,6 +119,7 @@ impl RaceDetector {
         RaceReport {
             races: self.races.clone(),
             executions: 1,
+            nanos: 0,
         }
     }
 
@@ -121,6 +128,7 @@ impl RaceDetector {
         RaceReport {
             races: self.races,
             executions: 1,
+            nanos: 0,
         }
     }
 

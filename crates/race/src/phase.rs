@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution, SchedulingPoint};
+use std::time::Instant;
 
 /// Configuration of the race-detection phase.
 #[derive(Debug, Clone)]
@@ -36,6 +37,7 @@ impl Default for RacePhaseConfig {
 /// report. The racy locations of the report are what the harness passes to
 /// [`sct_runtime::ExecConfig::with_racy_locations`].
 pub fn race_detection_phase(program: &Program, config: &RacePhaseConfig) -> RaceReport {
+    let started = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut merged = RaceReport::default();
     let exec_config = ExecConfig {
@@ -56,6 +58,9 @@ pub fn race_detection_phase(program: &Program, config: &RacePhaseConfig) -> Race
         );
         merged.merge(&detector.into_report());
     }
+    // The whole-phase stamp overwrites the per-run sums: callers want the
+    // phase's wall time, loop overhead included.
+    merged.nanos = started.elapsed().as_nanos() as u64;
     merged
 }
 

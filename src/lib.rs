@@ -18,7 +18,7 @@
 //! | [`analysis`] | `sct-analysis` | static lockset/lock-order analysis, race candidates and lints |
 //! | [`runtime`] | `sct-runtime` | the deterministic controlled-execution engine |
 //! | [`race`] | `sct-race` | vector clocks, the FastTrack-style detector, the race-detection phase |
-//! | [`core`] | `sct-core` | schedulers, schedule bounding, exploration drivers and statistics |
+//! | [`core`] | `sct-core` | schedulers, schedule bounding, exploration drivers, statistics and the telemetry event stream |
 //! | [`mod@bench`] | `sctbench` | the 52 SCTBench benchmarks and their registry |
 //! | [`harness`] | `sct-harness` | the study pipeline, tables and figures |
 //! | [`threads`] | `sct-threads` | a loom-style closure/OS-thread frontend driven by the same schedulers |
@@ -112,6 +112,7 @@ mod tests {
         assert_eq!(benchmarks.len(), 52);
         let _cfg = crate::runtime::ExecConfig::all_visible();
         let _limits = crate::core::ExploreLimits::with_schedule_limit(10);
+        assert!(!crate::core::Telemetry::off().is_on());
         let report = crate::analysis::analyze(&benchmarks[0].program());
         assert_eq!(report.name, benchmarks[0].name);
     }

@@ -171,6 +171,7 @@ fn study_pipeline_reproduces_the_headline_shape_on_a_cheap_subset() {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     let mut results = run_study(&config, Some("splash2")).unwrap();
     let more = run_study(&config, Some("CS.din_phil")).unwrap();
@@ -650,6 +651,7 @@ fn cache_harness_pipeline_reports_identical_rows_with_fewer_executions() {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     let cache_cfg = HarnessConfig {
         cache: true,
@@ -702,6 +704,7 @@ fn por_harness_pipeline_finds_the_same_bugs_with_fewer_systematic_schedules() {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     let por_cfg = HarnessConfig {
         por: true,
@@ -1095,6 +1098,7 @@ fn harness_campaign_mode_persists_resumes_and_replays() {
         steal_workers: 1,
         corpus_dir: Some(dir.clone()),
         resume: false,
+        ..Default::default()
     };
     for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
         let spec = benchmark_by_name(name).unwrap();
@@ -1301,6 +1305,7 @@ fn static_phase_pipeline_finds_the_same_bugs_as_the_dynamic_race_phase() {
         steal_workers: 1,
         corpus_dir: None,
         resume: false,
+        ..Default::default()
     };
     let static_cfg = HarnessConfig {
         static_phase: true,
@@ -1385,4 +1390,153 @@ program CS.account_bad
       8: halt
 ";
     assert_eq!(sct::ir::pretty::program_to_string(&program), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Exploration telemetry: tracing is observation-only.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn telemetry_tracing_changes_no_stats_or_digest_stream() {
+    // The tentpole invariant of the telemetry layer: events are observations,
+    // never inputs. Turning tracing on — with a recorder that sees every
+    // emission, progress throttle removed — must leave both the full
+    // `ExplorationStats` (timing is excluded from its equality) and the
+    // serial-order terminal-digest stream bit-identical to the untraced run,
+    // at every steal-worker count.
+    use sct::core::telemetry::CountingRecorder;
+    use std::sync::Arc;
+
+    for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for (kind, bound) in [(BoundKind::None, u32::MAX), (BoundKind::Delay, 1)] {
+            for workers in [1usize, 2, 8] {
+                let off = limits(1_000).with_steal_workers(workers);
+                let (plain_stats, plain_digests) =
+                    explore_bounded_stealing_digests(&program, &config, kind, bound, &off);
+
+                let recorder = Arc::new(CountingRecorder::default());
+                let telemetry = Telemetry::with_progress_interval(
+                    vec![Box::new(Arc::clone(&recorder))],
+                    std::time::Duration::ZERO,
+                );
+                let on = limits(1_000)
+                    .with_steal_workers(workers)
+                    .with_telemetry(telemetry);
+                let (traced_stats, traced_digests) =
+                    explore_bounded_stealing_digests(&program, &config, kind, bound, &on);
+
+                assert_eq!(
+                    plain_stats, traced_stats,
+                    "{name}: {kind:?}({bound}) at {workers} steal workers: stats drifted under tracing"
+                );
+                assert_eq!(
+                    plain_digests, traced_digests,
+                    "{name}: {kind:?}({bound}) at {workers} steal workers: digest stream drifted"
+                );
+                assert!(
+                    recorder.total() > 0,
+                    "{name}: tracing at {workers} workers recorded nothing — the oracle is vacuous"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn telemetry_off_is_the_default_and_records_nothing() {
+    // The no-op path: default limits carry the off handle, an empty recorder
+    // list collapses to it, and a run with the off handle equals a run with
+    // no telemetry configured at all (the same code path, by construction —
+    // emit closures are never even built, as the unit suite shows by panicking
+    // inside them).
+    assert!(!ExploreLimits::default().telemetry.is_on());
+    assert!(!Telemetry::new(Vec::new()).is_on());
+
+    let spec = benchmark_by_name("CS.reorder_3_bad").unwrap();
+    let program = spec.program();
+    let config = ExecConfig::all_visible();
+    let implicit = explore::run_technique(
+        &program,
+        &config,
+        Technique::IterativeDelayBounding,
+        &limits(500),
+    );
+    let explicit = explore::run_technique(
+        &program,
+        &config,
+        Technique::IterativeDelayBounding,
+        &limits(500).with_telemetry(Telemetry::off()),
+    );
+    assert_eq!(implicit, explicit);
+}
+
+#[test]
+fn study_trace_is_schema_valid_and_covers_the_event_families() {
+    // End-to-end over the harness: a small cached, stealing study must emit a
+    // trace in which every line validates against the event schema and every
+    // event family of the tentpole appears — study/benchmark/technique
+    // lifecycle, race phase, bound levels, steal activity, cache state and
+    // bug discovery.
+    use sct::core::telemetry::{validate_trace_line, BufferRecorder};
+    use std::sync::Arc;
+
+    let recorder = Arc::new(BufferRecorder::default());
+    let config = HarnessConfig {
+        schedule_limit: 300,
+        race_runs: 3,
+        cache: true,
+        steal_workers: 2,
+        workers: 2,
+        telemetry: Telemetry::with_progress_interval(
+            vec![Box::new(Arc::clone(&recorder))],
+            std::time::Duration::ZERO,
+        ),
+        ..Default::default()
+    };
+    let results = run_study(&config, Some("CS.reorder")).unwrap();
+    assert!(
+        results.benchmarks.len() >= 3,
+        "the CS.reorder filter should select several benchmarks"
+    );
+
+    let lines = recorder.lines();
+    assert!(!lines.is_empty());
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in &lines {
+        validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let kind_field = line
+            .split("\"type\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap()
+            .to_string();
+        kinds.insert(kind_field);
+    }
+    for required in [
+        "study_start",
+        "study_finish",
+        "benchmark_start",
+        "benchmark_finish",
+        "race_phase",
+        "technique_start",
+        "technique_finish",
+        "bound_level",
+        "progress",
+        "cache_summary",
+        "bug_found",
+    ] {
+        assert!(kinds.contains(required), "no {required} event in {kinds:?}");
+    }
+    // Steal activity: idle transitions always happen when two workers share
+    // a frontier; donations/thefts depend on tree shape, so any of the three
+    // proves the family is wired.
+    assert!(
+        ["worker_idle", "steal_donate", "steal_theft"]
+            .iter()
+            .any(|k| kinds.contains(*k)),
+        "no steal-family event in {kinds:?}"
+    );
 }
