@@ -46,7 +46,7 @@ use sct_runtime::{
     Bug, Execution, ExecutionOutcome, NoopObserver, PendingOp, SchedulingPoint, ThreadId,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// Default memory cap for a schedule cache (per technique per benchmark).
 pub const DEFAULT_CACHE_BYTES: u64 = 128 * 1024 * 1024;
@@ -231,6 +231,23 @@ pub struct ScheduleCache {
 impl Default for ScheduleCache {
     fn default() -> Self {
         ScheduleCache::new(DEFAULT_CACHE_BYTES)
+    }
+}
+
+// Manual because of the atomic hit counter (cloned by value). Used by
+// [`SharedCache`] to keep a pristine copy of the load-time trie for panic
+// recovery.
+impl Clone for ScheduleCache {
+    fn clone(&self) -> Self {
+        ScheduleCache {
+            nodes: self.nodes.clone(),
+            terminals: self.terminals.clone(),
+            bytes: self.bytes,
+            max_bytes: self.max_bytes,
+            full: self.full,
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            insertions: self.insertions,
+        }
     }
 }
 
@@ -521,11 +538,20 @@ pub enum CacheHandle<'a> {
 }
 
 impl CacheHandle<'_> {
+    // Lock poisoning is recovered, not propagated: the cache is a pure memo,
+    // so the worst a panic-interrupted writer can leave behind is a trie that
+    // memoizes less than it could — statistics come from per-driver mirrors,
+    // never from the live trie. The harness additionally resets a shared
+    // cache to its pristine baseline after catching an engine panic
+    // ([`SharedCache::restore_baseline`]), so one blown-up technique cannot
+    // poison the rest of the study.
     fn read<R>(&self, f: impl FnOnce(&ScheduleCache) -> R) -> Option<R> {
         match self {
             CacheHandle::Off => None,
             CacheHandle::Local(cache) => Some(f(cache)),
-            CacheHandle::Shared(lock) => Some(f(&lock.read().expect("schedule cache poisoned"))),
+            CacheHandle::Shared(lock) => {
+                Some(f(&lock.read().unwrap_or_else(PoisonError::into_inner)))
+            }
         }
     }
 
@@ -534,7 +560,7 @@ impl CacheHandle<'_> {
             CacheHandle::Off => None,
             CacheHandle::Local(cache) => Some(f(cache)),
             CacheHandle::Shared(lock) => {
-                Some(f(&mut lock.write().expect("schedule cache poisoned")))
+                Some(f(&mut lock.write().unwrap_or_else(PoisonError::into_inner)))
             }
         }
     }
@@ -819,6 +845,10 @@ impl CacheReplay {
 pub struct SharedCache {
     live: RwLock<ScheduleCache>,
     baseline: CacheReplay,
+    /// A full copy of the load-time trie (digests included, unlike the
+    /// structure-only `baseline`), kept so a panic-poisoned live trie can be
+    /// rolled back to known-good contents ([`SharedCache::restore_baseline`]).
+    pristine: ScheduleCache,
 }
 
 impl SharedCache {
@@ -826,9 +856,11 @@ impl SharedCache {
     /// current contents as the accounting baseline.
     pub fn of(cache: ScheduleCache) -> Self {
         let baseline = CacheReplay::from_cache(&cache);
+        let pristine = cache.clone();
         SharedCache {
             live: RwLock::new(cache),
             baseline,
+            pristine,
         }
     }
 
@@ -848,8 +880,22 @@ impl SharedCache {
     }
 
     /// Run `f` on the live trie under the read lock (e.g. to serialize it).
+    /// A poisoned lock is recovered, not propagated (see [`CacheHandle`]).
     pub fn with_live<R>(&self, f: impl FnOnce(&ScheduleCache) -> R) -> R {
-        f(&self.live.read().expect("schedule cache poisoned"))
+        f(&self.live.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Roll the live trie back to the pristine load-time contents and clear
+    /// any lock poisoning. The harness calls this after catching an engine
+    /// panic: a writer that unwound mid-insert may have left the trie
+    /// structurally inconsistent, and a corrupt memo — unlike a merely stale
+    /// one — could serve wrong digests. Memoized work from after load time is
+    /// lost (a pure perf cost); subsequent techniques see exactly the
+    /// baseline, so their mirror-reported counters stay correct.
+    pub fn restore_baseline(&self) {
+        let mut live = self.live.write().unwrap_or_else(PoisonError::into_inner);
+        *live = self.pristine.clone();
+        self.live.clear_poison();
     }
 }
 
@@ -1076,6 +1122,37 @@ mod tests {
         assert!(live_hits > 0, "level 1 must serve the level-0 interior");
         assert_eq!(mirror_hits, live_hits, "mirror and live cache disagree");
         assert_eq!(mirror.bytes(), shared.with_live(|c| c.bytes()));
+    }
+
+    /// A technique unit panicking while it holds the live write lock poisons
+    /// the `RwLock`; the recovery path must bring the shared trie back to
+    /// its load-time contents, clear the poison, and keep the mirror
+    /// snapshot consistent with the restored live cache.
+    #[test]
+    fn restore_baseline_recovers_a_poisoned_live_lock_to_the_loaded_contents() {
+        let prog = figure1();
+        let mut cache = ScheduleCache::default();
+        let (_, _) = run_level(&prog, 0, false, Some(&mut cache));
+        let loaded_bytes = cache.bytes();
+        assert!(loaded_bytes > 0, "the level-0 interior must be non-empty");
+        let shared = SharedCache::of(cache);
+
+        let unit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut live = shared.live().write().unwrap();
+            *live = ScheduleCache::new(1); // torn mid-update state
+            panic!("engine died mid-insertion");
+        }));
+        assert!(unit.is_err());
+        assert!(shared.live().is_poisoned());
+
+        shared.restore_baseline();
+        assert!(!shared.live().is_poisoned(), "recovery must clear poison");
+        assert_eq!(shared.with_live(|c| c.bytes()), loaded_bytes);
+        assert_eq!(
+            shared.mirror().bytes(),
+            loaded_bytes,
+            "the mirror must still describe the restored live contents"
+        );
     }
 
     #[test]

@@ -23,11 +23,18 @@
 //!
 //! [`Corpus`] manages the on-disk directory (one trie + one bug file per
 //! benchmark, written atomically via a rename so a kill mid-save never leaves
-//! a half-written artifact). The drivers consume a loaded trie through
+//! a half-written artifact). Saves are also *durable*: the temporary file is
+//! `sync_all`ed before the rename and the parent directory is fsynced after
+//! it, so a power cut right after a reported save cannot roll the artifact
+//! back — and transient I/O errors are retried a bounded number of times
+//! before they surface. A crash between write and rename leaves a stale
+//! `.tmp` file, which [`Corpus::open`] sweeps away (it was never published,
+//! so it is garbage, never data). The drivers consume a loaded trie through
 //! [`SharedCache`](crate::cache::SharedCache) — see `crate::explore` — which
 //! keeps the resumed statistics deterministic at any worker count.
 
 use crate::cache::{node_weight, Link, Node, ScheduleCache, TerminalDigest, TERMINAL_BYTES};
+use crate::fault::{self, FaultKind};
 use sct_ir::{Loc, Program, TemplateId};
 use sct_runtime::{
     Bug, ExecConfig, Execution, ExecutionOutcome, NoopObserver, PendingOp, SchedulingPoint,
@@ -933,17 +940,36 @@ pub fn harvest_bugs(
 /// A corpus directory: one trie file (`<slug>.trie.sctc`) and one bug file
 /// (`<slug>.bugs.sctb`) per benchmark. All saves are atomic
 /// (write-to-temporary + rename), so a study killed mid-save leaves the
-/// previous artifact intact rather than a truncated one.
+/// previous artifact intact rather than a truncated one — and durable
+/// (tmp-file `sync_all` before the rename, parent-directory fsync after it),
+/// so a reported save survives a crash of the whole machine.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     dir: PathBuf,
 }
 
+/// Attempts one corpus save makes before surfacing the I/O error.
+const WRITE_ATTEMPTS: u32 = 3;
+
+/// Pause before retry `n` (linear backoff: `n * RETRY_BACKOFF`).
+const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(10);
+
 impl Corpus {
-    /// Open (creating if needed) a corpus directory.
+    /// Open (creating if needed) a corpus directory, sweeping away any stale
+    /// `.tmp` files a crashed save left behind: they were never published by
+    /// a rename, so they are garbage, never data, and deleting them keeps a
+    /// torn one from ever being mistaken for an artifact.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Corpus, CorpusError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                // Best effort: a sweep that loses a race (or lacks
+                // permission) costs nothing — saves truncate on create.
+                let _ = fs::remove_file(&path);
+            }
+        }
         Ok(Corpus { dir })
     }
 
@@ -976,10 +1002,50 @@ impl Corpus {
             .join(format!("{}.bugs.sctb", Self::slug(benchmark)))
     }
 
+    /// Atomic, durable, retrying save: write to a temporary, `sync_all` it,
+    /// rename over the target, fsync the parent directory. Transient I/O
+    /// errors are retried up to [`WRITE_ATTEMPTS`] times with linear backoff
+    /// (each attempt restarts from a truncating create, so a torn earlier
+    /// attempt cannot leak into a later one); a persistent error surfaces.
     fn write_atomic(path: &Path, data: &[u8]) -> Result<(), CorpusError> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..WRITE_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(RETRY_BACKOFF * attempt);
+            }
+            match Self::write_atomic_once(path, data) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(CorpusError::Io(last.expect("at least one attempt ran")))
+    }
+
+    fn write_atomic_once(path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let scope = path.to_string_lossy();
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, data)?;
+        let mut file = fs::File::create(&tmp)?;
+        fault::io_point(FaultKind::WriteFail, &scope)?;
+        if let Some(torn) = fault::torn_write(&scope, data.len()) {
+            // Simulated crash mid-write: flush a prefix to disk and fail,
+            // leaving the torn `.tmp` behind exactly as a real crash would.
+            file.write_all(&data[..torn])?;
+            let _ = file.sync_all();
+            return Err(io::Error::other(fault::INJECTED));
+        }
+        file.write_all(data)?;
+        // The contents must be on disk *before* the rename publishes them:
+        // without this, a crash after the rename can publish a hole.
+        fault::io_point(FaultKind::SyncFail, &scope)?;
+        file.sync_all()?;
+        drop(file);
+        fault::io_point(FaultKind::RenameFail, &scope)?;
         fs::rename(&tmp, path)?;
+        // The rename is a directory-entry update; fsync the directory so the
+        // publish itself survives a power cut (journalling filesystems may
+        // otherwise delay it past the point the caller reports success).
+        fs::File::open(path.parent().unwrap_or(Path::new(".")))?.sync_all()?;
         Ok(())
     }
 
@@ -1228,6 +1294,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn transient_io_faults_are_absorbed_by_the_retry_loop() {
+        // One injected failure at each I/O point of `write_atomic_once`: the
+        // first attempt fails, the retry publishes, the caller never notices.
+        let prog = figure1();
+        let config = ExecConfig::all_visible();
+        let cache = explored_cache(&prog, &config, 2);
+        let key = corpus_key("figure1", &config);
+        for kind in [
+            FaultKind::WriteFail,
+            FaultKind::SyncFail,
+            FaultKind::RenameFail,
+        ] {
+            let dir = tempdir(&format!("transient-{kind:?}"));
+            let corpus = Corpus::open(&dir).expect("open corpus dir");
+            let scope = corpus.cache_path("figure1").to_string_lossy().into_owned();
+            let _fault = fault::arm(kind, &scope, 1);
+            corpus
+                .save_cache("figure1", key, &cache)
+                .unwrap_or_else(|e| panic!("{kind:?}: one transient fault must be retried: {e}"));
+            let loaded = corpus
+                .load_cache("figure1", key)
+                .expect("load after retried save")
+                .expect("artifact was published");
+            assert_eq!(loaded.bytes(), cache.bytes(), "{kind:?}");
+            assert_eq!(loaded.terminals, cache.terminals, "{kind:?}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn a_torn_write_is_never_published_and_the_retry_replaces_it() {
+        // The torn-write fault flushes a prefix of the artifact and fails,
+        // exactly like a crash mid-write. The retry starts from a truncating
+        // create, so the published artifact must be whole — the torn bytes
+        // can never leak through the rename.
+        let prog = figure1();
+        let config = ExecConfig::all_visible();
+        let cache = explored_cache(&prog, &config, 2);
+        let key = corpus_key("figure1", &config);
+        let dir = tempdir("torn-write");
+        let corpus = Corpus::open(&dir).expect("open corpus dir");
+        let path = corpus.cache_path("figure1");
+        let scope = path.to_string_lossy().into_owned();
+        let _fault = fault::arm(FaultKind::TornWrite, &scope, 1);
+        corpus
+            .save_cache("figure1", key, &cache)
+            .expect("the torn first attempt must be retried");
+        let published = fs::read(&path).expect("artifact exists");
+        assert_eq!(
+            published,
+            cache_to_bytes(&cache, key),
+            "published bytes are whole"
+        );
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "the successful rename consumed the temporary"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_persistent_fault_surfaces_and_leaves_the_old_artifact_intact() {
+        let prog = figure1();
+        let config = ExecConfig::all_visible();
+        let small = explored_cache(&prog, &config, 0);
+        let big = explored_cache(&prog, &config, 3);
+        assert!(big.bytes() > small.bytes());
+        let key = corpus_key("figure1", &config);
+        let dir = tempdir("persistent-fault");
+        let corpus = Corpus::open(&dir).expect("open corpus dir");
+        let path = corpus.cache_path("figure1");
+        corpus
+            .save_cache("figure1", key, &small)
+            .expect("clean first save");
+        let good = fs::read(&path).expect("published artifact");
+
+        // Fail the rename on every one of the bounded retries: the save must
+        // surface the injected error rather than spin forever.
+        let scope = path.to_string_lossy().into_owned();
+        let err = {
+            let _fault =
+                fault::arm_times(FaultKind::RenameFail, &scope, 1, u64::from(WRITE_ATTEMPTS));
+            corpus
+                .save_cache("figure1", key, &big)
+                .expect_err("a fault on every attempt must surface")
+        };
+        assert!(
+            err.to_string().contains(fault::INJECTED),
+            "error should carry the injected cause: {err}"
+        );
+        // The previously published artifact is untouched and still loads.
+        assert_eq!(fs::read(&path).expect("old artifact"), good);
+        let loaded = corpus
+            .load_cache("figure1", key)
+            .expect("load old artifact")
+            .expect("old artifact still present");
+        assert_eq!(loaded.bytes(), small.bytes());
+        // The failed save left its fully written `.tmp` behind (the rename
+        // never ran); reopening the corpus — what `--resume` does — sweeps it.
+        assert!(path.with_extension("tmp").exists(), "stale tmp left behind");
+        let corpus = Corpus::open(&dir).expect("reopen corpus dir");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "stale tmp must be swept on open"
+        );
+        // And with the fault gone the save goes through.
+        corpus
+            .save_cache("figure1", key, &big)
+            .expect("save succeeds once the fault clears");
+        assert_eq!(
+            corpus
+                .load_cache("figure1", key)
+                .expect("load")
+                .expect("artifact")
+                .bytes(),
+            big.bytes()
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::telemetry::{Event, Telemetry};
 use sct_ir::Program;
 use sct_runtime::{ExecConfig, Execution, NoopObserver};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Limits and switches applied to an exploration.
 #[derive(Debug, Clone)]
@@ -56,6 +56,15 @@ pub struct ExploreLimits {
     /// events. Telemetry is observation-only — it never changes statistics,
     /// digests or search order.
     pub telemetry: Telemetry,
+    /// Wall-clock budget for one technique run. `None` (the default) means
+    /// unbounded. The deadline is checked cooperatively at schedule
+    /// boundaries in every driver; when it expires the search stops with
+    /// `deadline_exceeded` set and its partial statistics intact. Unlike the
+    /// schedule limit this makes the *stopping point* timing-dependent, so a
+    /// run is only reproducible when the budget never actually fires — which
+    /// is why `deadline_exceeded`, like the wall-clock stamps, is excluded
+    /// from statistics equality.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for ExploreLimits {
@@ -69,6 +78,7 @@ impl Default for ExploreLimits {
             steal_workers: 1,
             shared_cache: None,
             telemetry: Telemetry::off(),
+            time_budget: None,
         }
     }
 }
@@ -117,6 +127,29 @@ impl ExploreLimits {
     pub fn with_telemetry(self, telemetry: Telemetry) -> Self {
         ExploreLimits { telemetry, ..self }
     }
+
+    /// The same limits with the given wall-clock budget (`None` disables it).
+    pub fn with_time_budget(self, time_budget: Option<Duration>) -> Self {
+        ExploreLimits {
+            time_budget,
+            ..self
+        }
+    }
+}
+
+/// The absolute deadline of a driver that started at `started` under
+/// `limits`, or `None` when the run is unbounded in time. A budget too large
+/// to represent as an instant can never fire, so it degrades to unbounded.
+pub(crate) fn deadline_from(started: Instant, limits: &ExploreLimits) -> Option<Instant> {
+    limits
+        .time_budget
+        .and_then(|budget| started.checked_add(budget))
+}
+
+/// Whether the (optional) deadline has passed. The single clock read per
+/// schedule boundary only happens when a budget was actually set.
+pub(crate) fn deadline_fired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Emit a [`Event::BugFound`] when `stats` just transitioned from no bug to
@@ -214,7 +247,16 @@ pub fn explore_with(
     // One execution for the whole exploration: `reset` rewinds it in place,
     // so the hot loop performs no per-schedule allocation or config clone.
     let mut exec = Execution::new_shared(program, config);
+    let deadline = deadline_from(started, limits);
     while stats.schedules < limits.schedule_limit && scheduler.begin_execution() {
+        if deadline_fired(deadline) {
+            // Cooperative wall-clock stop: report the partial results and say
+            // so. The probed execution is discarded with the scheduler, just
+            // like the exhausted-at-limit probe below.
+            stats.deadline_exceeded = true;
+            break;
+        }
+        crate::fault::schedule_boundary(&program.name);
         exec.reset();
         let outcome = exec.run(&mut |p| scheduler.choose(p), &mut NoopObserver);
         scheduler.end_execution(&outcome);
@@ -337,7 +379,13 @@ pub(crate) fn explore_dfs_corpus(
             stats.executions += 1;
         }
     };
+    let deadline = deadline_from(started, limits);
     while stats.schedules < limits.schedule_limit && scheduler.begin_execution() {
+        if deadline_fired(deadline) {
+            stats.deadline_exceeded = true;
+            break;
+        }
+        crate::fault::schedule_boundary(&program.name);
         let (run, trace) = cache::run_begun_schedule(
             &mut exec,
             scheduler,
@@ -438,6 +486,7 @@ pub fn iterative_bounding(
         (corpus.is_none() && limits.cache).then(|| ScheduleCache::new(limits.cache_max_bytes));
     let mut stopped = false;
     let mut degradation_reported = false;
+    let deadline = deadline_from(started, limits);
     for bound in 0..=limits.max_bound {
         let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
         let mut new_at_bound = 0u64;
@@ -448,6 +497,11 @@ pub fn iterative_bounding(
         };
         let level_base = (agg.schedules, agg.executions);
         while agg.schedules < limits.schedule_limit && scheduler.begin_execution() {
+            if deadline_fired(deadline) {
+                agg.deadline_exceeded = true;
+                break;
+            }
+            crate::fault::schedule_boundary(&program.name);
             let handle = match (corpus.as_deref(), cache.as_mut()) {
                 (Some(shared), _) => CacheHandle::Shared(shared.live()),
                 (None, Some(c)) => CacheHandle::Local(c),
@@ -538,6 +592,13 @@ pub fn iterative_bounding(
         }
         if agg.found_bug() && agg.bound_of_first_bug.is_none() {
             agg.bound_of_first_bug = Some(bound);
+        }
+        if agg.deadline_exceeded {
+            // The wall clock, not the search, ended this level: report the
+            // partial results without claiming completion, truncation or
+            // bound exhaustion.
+            stopped = true;
+            break;
         }
         let finished_bound = scheduler.is_complete();
         if agg.schedules >= limits.schedule_limit && !finished_bound {

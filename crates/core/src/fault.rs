@@ -1,0 +1,274 @@
+//! Test-only fault injection for the campaign path.
+//!
+//! Robustness code is only trustworthy if its recovery paths actually run,
+//! and the faults they recover from — a write that fails halfway, a rename
+//! that errors, a panic deep inside an exploration — are precisely the ones
+//! ordinary tests cannot produce. This module plants named injection points
+//! in the production code (the corpus I/O pipeline and the drivers' schedule
+//! boundaries) that are inert until a test *arms* a matching fault.
+//!
+//! The module is always compiled (integration tests live outside the crate,
+//! so `cfg(test)` would hide it from them), but the production cost is a
+//! single relaxed atomic load per injection point while nothing is armed.
+//!
+//! Faults are scoped: each armed fault carries a substring that must occur
+//! in the injection site's scope string (a file path for I/O faults, the
+//! program name for schedule faults). Tests that use unique temp-dir names
+//! and unique program names can therefore run concurrently without tripping
+//! each other's faults.
+//!
+//! For out-of-process harness runs (the CI smoke), faults can also be armed
+//! through the `SCT_FAULT` environment variable, a comma-separated list of
+//! `kind@scope#nth` entries — e.g. `SCT_FAULT=rename-fail@corpus#1` makes
+//! the first corpus rename whose path contains `corpus` fail. Env-armed
+//! faults stay armed for the life of the process.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+/// What an armed fault does when its injection point is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail a corpus artifact write with an injected I/O error.
+    WriteFail,
+    /// Write only the first half of the bytes, leave the torn file on disk,
+    /// and report an I/O error — a crash in the middle of a write.
+    TornWrite,
+    /// Fail the atomic-rename step with an injected I/O error (the fully
+    /// written `.tmp` file stays behind).
+    RenameFail,
+    /// Fail the durability `sync_all` on the written file.
+    SyncFail,
+    /// Panic at a driver's schedule boundary — an engine blowing up mid-run.
+    SchedulePanic,
+}
+
+impl FaultKind {
+    fn parse(name: &str) -> Option<FaultKind> {
+        Some(match name {
+            "write-fail" => FaultKind::WriteFail,
+            "torn-write" => FaultKind::TornWrite,
+            "rename-fail" => FaultKind::RenameFail,
+            "sync-fail" => FaultKind::SyncFail,
+            "schedule-panic" => FaultKind::SchedulePanic,
+            _ => return None,
+        })
+    }
+}
+
+struct Entry {
+    id: u64,
+    kind: FaultKind,
+    scope: String,
+    /// Fires on the `nth` matching hit (1-based).
+    nth: u64,
+    /// How many consecutive hits fire, starting at `nth`.
+    times: u64,
+    hits: u64,
+}
+
+/// Fast path: injection points return immediately while this is false. It is
+/// true exactly while at least one fault (test- or env-armed) is registered.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+/// One-time `SCT_FAULT` scan; afterwards [`armed`] is a relaxed load.
+fn armed() -> bool {
+    static ENV: Once = Once::new();
+    ENV.call_once(|| {
+        if let Ok(spec) = std::env::var("SCT_FAULT") {
+            for entry in spec.split(',').filter(|s| !s.is_empty()) {
+                match parse_env_entry(entry) {
+                    Some((kind, scope, nth)) => {
+                        // Env-armed faults have no guard; they stay armed
+                        // (and keep `ARMED` raised) for the process's life.
+                        register(kind, scope, nth, 1);
+                    }
+                    None => eprintln!("sct: ignoring malformed SCT_FAULT entry {entry:?}"),
+                }
+            }
+        }
+    });
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Parse one `kind@scope#nth` entry (`#nth` optional, defaulting to 1).
+fn parse_env_entry(entry: &str) -> Option<(FaultKind, String, u64)> {
+    let (kind, rest) = entry.split_once('@')?;
+    let (scope, nth) = match rest.rsplit_once('#') {
+        Some((scope, nth)) => (scope, nth.parse().ok().filter(|&n| n >= 1)?),
+        None => (rest, 1),
+    };
+    Some((FaultKind::parse(kind)?, scope.to_string(), nth))
+}
+
+fn register(kind: FaultKind, scope: String, nth: u64, times: u64) -> u64 {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    registry.push(Entry {
+        id,
+        kind,
+        scope,
+        nth,
+        times,
+        hits: 0,
+    });
+    ARMED.store(true, Ordering::Relaxed);
+    id
+}
+
+/// Disarms its fault when dropped, so a panicking test cannot leave a fault
+/// armed for the rest of the process.
+#[must_use = "the fault is disarmed when the guard drops"]
+pub struct FaultGuard {
+    id: u64,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        registry.retain(|e| e.id != self.id);
+        if registry.is_empty() {
+            ARMED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Arm `kind` to fire on the `nth` (1-based) matching hit at injection
+/// points whose scope string contains `scope`. The fault fires exactly once
+/// and the returned guard disarms it on drop.
+pub fn arm(kind: FaultKind, scope: &str, nth: u64) -> FaultGuard {
+    arm_times(kind, scope, nth, 1)
+}
+
+/// [`arm`], but firing on `times` consecutive hits starting at the `nth` —
+/// for exercising bounded-retry paths where several attempts in a row fail.
+pub fn arm_times(kind: FaultKind, scope: &str, nth: u64, times: u64) -> FaultGuard {
+    assert!(nth >= 1, "hits are 1-based");
+    FaultGuard {
+        id: register(kind, scope.to_string(), nth, times),
+    }
+}
+
+/// Record a hit on every armed fault matching `kind` and `scope`; returns
+/// true when one of them fires. This is the slow path behind [`armed`].
+fn fires(kind: FaultKind, scope: &str) -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut fired = false;
+    for entry in registry.iter_mut() {
+        if entry.kind == kind && scope.contains(&entry.scope) {
+            entry.hits += 1;
+            if entry.hits >= entry.nth && entry.hits < entry.nth + entry.times {
+                fired = true;
+            }
+        }
+    }
+    fired
+}
+
+/// The error every I/O fault injects, recognisable in assertions and logs.
+pub const INJECTED: &str = "injected fault (sct_core::fault)";
+
+fn injected_error() -> std::io::Error {
+    std::io::Error::other(INJECTED)
+}
+
+/// Injection point: an I/O step of kind `kind` on `scope` (a path). Returns
+/// the injected error when a matching fault fires.
+pub(crate) fn io_point(kind: FaultKind, scope: &str) -> std::io::Result<()> {
+    if fires(kind, scope) {
+        return Err(injected_error());
+    }
+    Ok(())
+}
+
+/// Injection point: should this write be torn? Returns the number of bytes
+/// to actually write (half of `len`) when a [`FaultKind::TornWrite`] fires.
+pub(crate) fn torn_write(scope: &str, len: usize) -> Option<usize> {
+    fires(FaultKind::TornWrite, scope).then_some(len / 2)
+}
+
+/// Injection point: a driver is about to run the next schedule of `program`.
+/// Panics when a matching [`FaultKind::SchedulePanic`] fires.
+pub(crate) fn schedule_boundary(program: &str) {
+    if fires(FaultKind::SchedulePanic, program) {
+        panic!("{INJECTED}: schedule panic in {program}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_are_inert() {
+        assert!(io_point(FaultKind::WriteFail, "fault-inert/x.sctc").is_ok());
+        assert!(torn_write("fault-inert/x.sctc", 100).is_none());
+        schedule_boundary("fault-inert-program");
+    }
+
+    #[test]
+    fn faults_fire_on_the_nth_matching_hit_and_only_in_scope() {
+        let _g = arm(FaultKind::WriteFail, "fault-nth-scope", 2);
+        // Out-of-scope hits are not counted and never fire.
+        assert!(io_point(FaultKind::WriteFail, "elsewhere/x").is_ok());
+        // Wrong kind in scope does not count either.
+        assert!(io_point(FaultKind::RenameFail, "fault-nth-scope/x").is_ok());
+        assert!(io_point(FaultKind::WriteFail, "fault-nth-scope/x").is_ok());
+        let err = io_point(FaultKind::WriteFail, "fault-nth-scope/x").unwrap_err();
+        assert!(err.to_string().contains(INJECTED));
+        // One-shot: the third hit passes.
+        assert!(io_point(FaultKind::WriteFail, "fault-nth-scope/x").is_ok());
+    }
+
+    #[test]
+    fn arm_times_fires_a_consecutive_window() {
+        let _g = arm_times(FaultKind::SyncFail, "fault-window", 1, 2);
+        assert!(io_point(FaultKind::SyncFail, "fault-window/a").is_err());
+        assert!(io_point(FaultKind::SyncFail, "fault-window/a").is_err());
+        assert!(io_point(FaultKind::SyncFail, "fault-window/a").is_ok());
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms() {
+        {
+            let _g = arm(FaultKind::RenameFail, "fault-guard-drop", 1);
+        }
+        assert!(io_point(FaultKind::RenameFail, "fault-guard-drop/x").is_ok());
+    }
+
+    #[test]
+    fn torn_writes_report_half_the_bytes() {
+        let _g = arm(FaultKind::TornWrite, "fault-torn", 1);
+        assert_eq!(torn_write("fault-torn/x.tmp", 100), Some(50));
+        assert_eq!(torn_write("fault-torn/x.tmp", 100), None);
+    }
+
+    #[test]
+    fn schedule_panic_fires_with_the_injected_marker() {
+        let _g = arm(FaultKind::SchedulePanic, "fault-panic-program", 1);
+        let caught = std::panic::catch_unwind(|| schedule_boundary("fault-panic-program"));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(INJECTED), "{msg}");
+    }
+
+    #[test]
+    fn env_entries_parse_and_malformed_ones_are_rejected() {
+        assert_eq!(
+            parse_env_entry("rename-fail@corpus#3"),
+            Some((FaultKind::RenameFail, "corpus".to_string(), 3))
+        );
+        assert_eq!(
+            parse_env_entry("schedule-panic@prog"),
+            Some((FaultKind::SchedulePanic, "prog".to_string(), 1))
+        );
+        assert_eq!(parse_env_entry("rename-fail"), None, "missing scope");
+        assert_eq!(parse_env_entry("bogus@x#1"), None, "unknown kind");
+        assert_eq!(parse_env_entry("write-fail@x#0"), None, "hits are 1-based");
+        assert_eq!(parse_env_entry("write-fail@x#no"), None);
+    }
+}

@@ -55,6 +55,7 @@ pub mod cache;
 pub mod corpus;
 pub mod dfs;
 pub mod explore;
+pub mod fault;
 pub mod maple;
 pub mod parallel;
 pub mod pct;
@@ -71,6 +72,7 @@ pub use cache::{
 pub use corpus::{BugCorpus, BugRecord, Corpus, CorpusError};
 pub use dfs::{BoundedDfs, SubtreeSeed};
 pub use explore::{explore_with, iterative_bounding, ExploreLimits, Technique};
+pub use fault::{FaultGuard, FaultKind};
 pub use maple::MapleLikeScheduler;
 pub use parallel::{
     default_workers, explore_sharded, explore_sharded_serial, map_indexed,
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::corpus::{self, BugCorpus, BugRecord, Corpus, CorpusError};
     pub use crate::dfs::{BoundedDfs, SubtreeSeed};
     pub use crate::explore::{self, explore_with, iterative_bounding, ExploreLimits, Technique};
+    pub use crate::fault::{self, FaultGuard, FaultKind};
     pub use crate::maple::MapleLikeScheduler;
     pub use crate::parallel::{
         self, default_workers, explore_sharded, explore_sharded_serial, map_indexed,

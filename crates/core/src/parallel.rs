@@ -333,8 +333,12 @@ struct BoundRun {
     /// Real program executions the level performed (same caveat as
     /// [`ScheduleDigest::executions`]: only meaningful without caching).
     executions: u64,
+    /// Whether the caller's wall-clock deadline cut this level short; the
+    /// fold reports the explored prefix and stops.
+    deadline_exceeded: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_bound(
     program: &Program,
     config: &ExecConfig,
@@ -343,13 +347,23 @@ fn run_bound(
     limits: &ExploreLimits,
     stop: &AtomicBool,
     shared_cache: Option<&RwLock<ScheduleCache>>,
+    deadline: Option<Instant>,
 ) -> BoundRun {
     if limits.steal_workers > 1 && !limits.por {
         // Split the level's own frontier across the stealing workers; the
         // stream comes back in serial visit order, so the conversion below is
         // a straight repackaging (POR levels under a pruning bound stay
         // serial — see the gate in [`crate::steal`]).
-        return run_bound_stealing(program, config, kind, bound, limits, stop, shared_cache);
+        return run_bound_stealing(
+            program,
+            config,
+            kind,
+            bound,
+            limits,
+            stop,
+            shared_cache,
+            deadline,
+        );
     }
     let cap = limits.schedule_limit;
     let mut scheduler = BoundedDfs::new(kind.policy(), bound).with_sleep_sets(limits.por);
@@ -359,11 +373,19 @@ fn run_bound(
     let mut counted = 0u64;
     let mut executions = 0u64;
     let mut aborted = false;
+    let mut deadline_exceeded = false;
     while counted < cap && scheduler.begin_execution() {
         if stop.load(Ordering::Relaxed) {
             // A lower bound already satisfied the serial stopping rule; this
             // speculative level will be discarded, so bail out cheaply.
             aborted = true;
+            break;
+        }
+        if explore::deadline_fired(deadline) {
+            // The technique's wall-clock budget expired: ship the explored
+            // prefix; the fold reports it and stops after this level.
+            aborted = true;
+            deadline_exceeded = true;
             break;
         }
         let handle = match shared_cache {
@@ -410,6 +432,7 @@ fn run_bound(
         slept,
         pruned_by_sleep,
         executions,
+        deadline_exceeded,
     }
 }
 
@@ -417,6 +440,7 @@ fn run_bound(
 /// engine: the stolen stream is already in serial visit order with serial
 /// counter snapshots, so it repackages one-to-one into the digests / visit
 /// records the fold consumes.
+#[allow(clippy::too_many_arguments)]
 fn run_bound_stealing(
     program: &Program,
     config: &ExecConfig,
@@ -425,9 +449,18 @@ fn run_bound_stealing(
     limits: &ExploreLimits,
     stop: &AtomicBool,
     shared_cache: Option<&RwLock<ScheduleCache>>,
+    deadline: Option<Instant>,
 ) -> BoundRun {
-    let level =
-        crate::steal::run_level_stealing(program, config, kind, bound, limits, stop, shared_cache);
+    let level = crate::steal::run_level_stealing(
+        program,
+        config,
+        kind,
+        bound,
+        limits,
+        stop,
+        shared_cache,
+        deadline,
+    );
     let mut digests: Vec<ScheduleDigest> = Vec::new();
     let mut visits: Option<Vec<VisitRecord>> = shared_cache.map(|_| Vec::new());
     for item in level.items {
@@ -460,6 +493,7 @@ fn run_bound_stealing(
         slept: level.slept,
         pruned_by_sleep: level.pruned_by_sleep,
         executions: level.executions,
+        deadline_exceeded: level.deadline_exceeded,
     }
 }
 
@@ -621,6 +655,7 @@ pub fn parallel_iterative_bounding(
     let mut agg = ExplorationStats::new(label);
     let mut degradation_reported = false;
     let stop = AtomicBool::new(false);
+    let deadline = explore::deadline_from(started, limits);
     // With caching on, the level workers share one cache: lookups and
     // insertions are transparent memo operations on a deterministic program,
     // so sharing only changes how many executions are physically skipped —
@@ -653,7 +688,16 @@ pub fn parallel_iterative_bounding(
             let handles: Vec<_> = (bound..=wave_last)
                 .map(|b| {
                     scope.spawn(move || {
-                        run_bound(program, config, kind, b, limits, stop, shared_cache)
+                        run_bound(
+                            program,
+                            config,
+                            kind,
+                            b,
+                            limits,
+                            stop,
+                            shared_cache,
+                            deadline,
+                        )
                     })
                 })
                 .collect();
@@ -665,6 +709,13 @@ pub fn parallel_iterative_bounding(
                     continue; // drain cancelled levels
                 }
                 done = fold_bound(&mut agg, &run, limits, replay.as_mut(), &program.name);
+                if !done && run.deadline_exceeded {
+                    // The level's worker hit the wall-clock budget: its
+                    // explored prefix is folded above; report the partial
+                    // aggregate and cancel everything still speculative.
+                    agg.deadline_exceeded = true;
+                    done = true;
+                }
                 if !degradation_reported {
                     if let Some(r) = &replay {
                         if r.is_full() {

@@ -67,6 +67,17 @@ pub struct ExplorationStats {
     /// limit: the search *gave up on bounds*, distinguishing this row from
     /// both a truncated and a completed one.
     pub bound_exhausted: bool,
+    /// Whether exploration stopped because a wall-clock budget
+    /// (`ExploreLimits::time_budget` or the harness `--benchmark-deadline`)
+    /// expired. Like the wall-clock stamps it reflects time, not work, so it
+    /// is excluded from equality — a run where no deadline fires is still
+    /// bit-identical to an unbudgeted one.
+    pub deadline_exceeded: bool,
+    /// Whether the exploration engine panicked and the harness synthesized
+    /// this row instead of aborting the study. All counted work below is from
+    /// before the panic (usually zero). Excluded from equality: a panic is an
+    /// environmental failure, not a property of the search.
+    pub engine_panic: bool,
     /// Wall-clock nanoseconds spent exploring (driver entry to exit).
     /// Excluded from equality — see the type-level docs.
     pub explore_nanos: u64,
@@ -104,6 +115,8 @@ impl PartialEq for ExplorationStats {
             complete,
             hit_schedule_limit,
             bound_exhausted,
+            deadline_exceeded: _,
+            engine_panic: _,
             explore_nanos: _,
             race_nanos: _,
         } = self;
@@ -156,6 +169,8 @@ impl ExplorationStats {
             complete: false,
             hit_schedule_limit: false,
             bound_exhausted: false,
+            deadline_exceeded: false,
+            engine_panic: false,
             explore_nanos: 0,
             race_nanos: 0,
         }
@@ -259,6 +274,8 @@ impl ExplorationStats {
         self.complete = self.complete && other.complete;
         self.hit_schedule_limit = self.hit_schedule_limit || other.hit_schedule_limit;
         self.bound_exhausted = self.bound_exhausted || other.bound_exhausted;
+        self.deadline_exceeded = self.deadline_exceeded || other.deadline_exceeded;
+        self.engine_panic = self.engine_panic || other.engine_panic;
         // Shards run concurrently, so wall-clock folds as a high-water mark
         // (the aggregate took as long as its slowest shard), not a sum.
         self.explore_nanos = self.explore_nanos.max(other.explore_nanos);
@@ -442,8 +459,22 @@ mod tests {
         b.explore_nanos = 123_456_789;
         b.race_nanos = 42;
         assert_eq!(a, b, "timing must not participate in differential equality");
+        // Deadlines and panics are environmental outcomes, not search work:
+        // they too are excluded, so a deadline-free differential pair stays
+        // comparable even if one side carried a (never-firing) budget.
+        b.deadline_exceeded = true;
+        b.engine_panic = true;
+        assert_eq!(a, b, "fault flags must not participate in equality");
         b.schedules += 1;
         assert_ne!(a, b, "non-timing fields still compare");
+
+        // merge() ORs the fault flags like the other outcome flags.
+        let mut f = a.clone();
+        let mut g = a.clone();
+        g.deadline_exceeded = true;
+        f.merge(&g);
+        assert!(f.deadline_exceeded);
+        assert!(!f.engine_panic);
 
         // merge() keeps the slowest shard's wall clock.
         let mut m = a.clone();

@@ -588,9 +588,17 @@ pub fn explore_bounded_stealing_digests(
             }
             None => stats.executions += 1,
         };
+        let deadline = explore::deadline_from(started, limits);
         let mut complete = false;
         loop {
             if stats.schedules >= limits.schedule_limit {
+                break;
+            }
+            if explore::deadline_fired(deadline) {
+                // Cooperative wall-clock stop, checked once per folded
+                // schedule like the serial driver checks per executed one.
+                // The shut-down below cancels the workers' in-flight tail.
+                stats.deadline_exceeded = true;
                 break;
             }
             match fold.next() {
@@ -621,7 +629,7 @@ pub fn explore_bounded_stealing_digests(
                 }
             }
         }
-        if !complete && stats.schedules >= limits.schedule_limit {
+        if !complete && !stats.deadline_exceeded && stats.schedules >= limits.schedule_limit {
             // The serial driver probes a scheduler that filled its budget:
             // one more `begin_execution`, plus — under POR — a drain of
             // trailing redundant completions (see `explore_with`). Replay
@@ -759,6 +767,9 @@ pub(crate) struct LevelRun {
     pub slept: u64,
     pub pruned_by_sleep: u64,
     pub executions: u64,
+    /// Whether the caller's wall-clock deadline cut this level short (the
+    /// explored prefix is still valid; the cross-level fold stops after it).
+    pub deadline_exceeded: bool,
 }
 
 /// Explore one bound level with the work-stealing engine, producing exactly
@@ -767,6 +778,7 @@ pub(crate) struct LevelRun {
 /// visit order, same cut-off at the budget cap, same completion facts.
 /// Callers gate on [`ExploreLimits::steal_workers`] and POR (the engine is
 /// only used for POR-off levels; see the module docs).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_level_stealing(
     program: &Program,
     config: &ExecConfig,
@@ -775,6 +787,7 @@ pub(crate) fn run_level_stealing(
     limits: &ExploreLimits,
     stop: &AtomicBool,
     shared_cache: Option<&RwLock<ScheduleCache>>,
+    deadline: Option<Instant>,
 ) -> LevelRun {
     debug_assert!(stealing_sound(kind, limits.por));
     let workers = limits.steal_workers.max(1);
@@ -797,6 +810,7 @@ pub(crate) fn run_level_stealing(
     let (mut slept, mut pruned_by_sleep) = (0u64, 0u64);
     let mut pruned = false;
     let mut complete = false;
+    let mut deadline_exceeded = false;
     thread::scope(|scope| {
         let ctx = &ctx;
         for who in 0..workers {
@@ -804,6 +818,10 @@ pub(crate) fn run_level_stealing(
         }
         let mut fold = Fold::new(&engine);
         while counted < cap && !stop.load(Ordering::Relaxed) {
+            if explore::deadline_fired(deadline) {
+                deadline_exceeded = true;
+                break;
+            }
             match fold.next() {
                 None => {
                     // Exhausted — unless the engine was stopped underneath
@@ -845,6 +863,7 @@ pub(crate) fn run_level_stealing(
         slept,
         pruned_by_sleep,
         executions,
+        deadline_exceeded,
     }
 }
 

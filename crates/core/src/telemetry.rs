@@ -250,6 +250,37 @@ pub enum Event {
         /// The minimized decision prefix (thread ids).
         prefix: Vec<u64>,
     },
+    /// A technique stopped at its wall-clock deadline with partial results
+    /// (`--time-budget` / `--benchmark-deadline`).
+    DeadlineExceeded {
+        /// Registry name.
+        benchmark: String,
+        /// Technique label.
+        technique: String,
+        /// Schedules completed before the deadline fired.
+        schedules: u64,
+        /// The wall-clock budget that expired, in nanoseconds.
+        budget_nanos: u64,
+    },
+    /// An engine panicked inside a benchmark×technique unit; the harness
+    /// isolated the panic and the study continued.
+    EnginePanic {
+        /// Registry name.
+        benchmark: String,
+        /// Technique label.
+        technique: String,
+        /// Display form of the panic payload.
+        panic: String,
+    },
+    /// A mid-run corpus checkpoint was written (crash-safe autosave).
+    CheckpointSaved {
+        /// Registry name.
+        benchmark: String,
+        /// Bytes of the checkpointed trie.
+        bytes: u64,
+        /// Schedules explored when the checkpoint was taken.
+        schedules: u64,
+    },
 }
 
 impl Event {
@@ -275,6 +306,9 @@ impl Event {
             Event::CorpusReplay { .. } => "corpus_replay",
             Event::BugFound { .. } => "bug_found",
             Event::BugRecorded { .. } => "bug_recorded",
+            Event::DeadlineExceeded { .. } => "deadline_exceeded",
+            Event::EnginePanic { .. } => "engine_panic",
+            Event::CheckpointSaved { .. } => "checkpoint_saved",
         }
     }
 
@@ -483,6 +517,35 @@ impl Event {
                 .u64("decisions", *decisions)
                 .u64_array("prefix", prefix)
                 .finish(),
+            Event::DeadlineExceeded {
+                benchmark,
+                technique,
+                schedules,
+                budget_nanos,
+            } => w
+                .str("benchmark", benchmark)
+                .str("technique", technique)
+                .u64("schedules", *schedules)
+                .u64("budget_nanos", *budget_nanos)
+                .finish(),
+            Event::EnginePanic {
+                benchmark,
+                technique,
+                panic,
+            } => w
+                .str("benchmark", benchmark)
+                .str("technique", technique)
+                .str("panic", panic)
+                .finish(),
+            Event::CheckpointSaved {
+                benchmark,
+                bytes,
+                schedules,
+            } => w
+                .str("benchmark", benchmark)
+                .u64("bytes", *bytes)
+                .u64("schedules", *schedules)
+                .finish(),
         }
     }
 
@@ -602,6 +665,22 @@ impl Event {
                 bug: "assertion failure".into(),
                 decisions: 3,
                 prefix: vec![0, 1, 0],
+            },
+            Event::DeadlineExceeded {
+                benchmark: "CS.reorder_3".into(),
+                technique: "IDB".into(),
+                schedules: 57,
+                budget_nanos: 1_000_000_000,
+            },
+            Event::EnginePanic {
+                benchmark: "CS.reorder_3".into(),
+                technique: "IDB".into(),
+                panic: "injected fault (sct_core::fault)".into(),
+            },
+            Event::CheckpointSaved {
+                benchmark: "CS.reorder_3".into(),
+                bytes: 4096,
+                schedules: 57,
             },
         ]
     }
@@ -1382,6 +1461,14 @@ fn event_schema(kind: &str) -> Option<&'static [(&'static str, FieldType)]> {
             ("decisions", U64),
             ("prefix", U64Array),
         ],
+        "deadline_exceeded" => &[
+            ("benchmark", Str),
+            ("technique", Str),
+            ("schedules", U64),
+            ("budget_nanos", U64),
+        ],
+        "engine_panic" => &[("benchmark", Str), ("technique", Str), ("panic", Str)],
+        "checkpoint_saved" => &[("benchmark", Str), ("bytes", U64), ("schedules", U64)],
         _ => return None,
     })
 }

@@ -16,7 +16,14 @@
 //! `--corpus-dir DIR` persists each benchmark's schedule trie and minimized
 //! bug prefixes as durable artifacts ("campaign mode"), and `--resume` seeds
 //! the run from those artifacts so a killed study picks up where it left off
-//! (see `sct-table replay` for reproducing the recorded bugs).
+//! (see `sct-table replay` for reproducing the recorded bugs);
+//! `--checkpoint-every DUR` sets the campaign's mid-run trie autosave
+//! cadence (default 30s), bounding what a SIGKILL can lose.
+//! `--time-budget DUR` caps each technique's wall clock and
+//! `--benchmark-deadline DUR` caps each benchmark's; a unit that runs out
+//! stops at a schedule boundary and reports its partial counts with the
+//! `deadline_exceeded` CSV column set (durations accept `ms`/`s`/`m`/`h`
+//! suffixes; a bare number means seconds).
 //! `--static-phase` replaces the dynamic race-detection runs with the
 //! `sct-analysis` static race candidates (a sound over-approximation),
 //! promoting those locations to visible operations instead.

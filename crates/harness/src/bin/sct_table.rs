@@ -6,10 +6,12 @@
 //! ```
 //!
 //! The common flags are shared with `sct-experiments` (see
-//! `sct_harness::cli`), so options like `--por`, `--schedule-cache` and
-//! `--steal-workers` behave identically in both binaries. `table1` is pure
-//! metadata and runs instantly; everything else runs the experiment pipeline
-//! (over the filtered subset, if `--filter` is given) before rendering.
+//! `sct_harness::cli`), so options like `--por`, `--schedule-cache`,
+//! `--steal-workers` and the fault-tolerance flags (`--time-budget`,
+//! `--benchmark-deadline`, `--checkpoint-every`) behave identically in both
+//! binaries. `table1` is pure metadata and runs instantly; everything else
+//! runs the experiment pipeline (over the filtered subset, if `--filter` is
+//! given) before rendering.
 //!
 //! `lint` runs `sct-analysis` over the (filtered) registry without executing
 //! anything and prints each benchmark's report: static race candidates,

@@ -14,7 +14,8 @@ use std::time::Duration;
 /// splice this into their usage strings so the flag lists cannot go stale.
 pub const COMMON_USAGE: &str = "[--schedules N] [--race-runs N] [--seed N] [--filter SUBSTR] \
 [--no-race-phase] [--static-phase] [--with-pct] [--por] [--schedule-cache] [--workers N] \
-[--steal-workers N] [--corpus-dir DIR] [--resume] [--trace PATH] [--quiet]";
+[--steal-workers N] [--corpus-dir DIR] [--resume] [--time-budget DUR] \
+[--benchmark-deadline DUR] [--checkpoint-every DUR] [--trace PATH] [--quiet]";
 
 fn value(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<String, String> {
     rest.next()
@@ -48,6 +49,35 @@ where
     Ok(parsed)
 }
 
+/// Parse a wall-clock duration flag value: a positive integer with an
+/// optional `ms`/`s`/`m`/`h` suffix (a bare number means seconds). Zero is
+/// rejected for the same reason [`positive`] rejects it: a zero budget
+/// deadlines every technique before its first schedule, so the "study" exits
+/// cleanly having explored nothing.
+fn duration(rest: &mut dyn Iterator<Item = String>, name: &str) -> Result<Duration, String> {
+    let text = value(rest, name)?;
+    let (digits, scale_millis) = if let Some(n) = text.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = text.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = text.strip_suffix('m') {
+        (n, 60_000)
+    } else if let Some(n) = text.strip_suffix('h') {
+        (n, 3_600_000)
+    } else {
+        (text.as_str(), 1_000)
+    };
+    let count: u64 = digits
+        .parse()
+        .map_err(|_| format!("{name}: {text:?} is not a duration (try 500ms, 30s, 10m, 2h)"))?;
+    if count == 0 {
+        return Err(format!(
+            "{name} must be a positive duration (0 would deadline every technique before schedule 1)"
+        ));
+    }
+    Ok(Duration::from_millis(count.saturating_mul(scale_millis)))
+}
+
 /// Try to consume `arg` (and its value, if it takes one, from `rest`) as one
 /// of the shared study flags, updating `config` / `filter` in place. Returns
 /// `Ok(true)` when the flag was recognised, `Ok(false)` when the caller
@@ -76,6 +106,13 @@ pub fn parse_common_flag(
         }
         "--corpus-dir" => config.corpus_dir = Some(PathBuf::from(value(rest, "--corpus-dir")?)),
         "--resume" => config.resume = true,
+        "--time-budget" => config.time_budget = Some(duration(rest, "--time-budget")?),
+        "--benchmark-deadline" => {
+            config.benchmark_deadline = Some(duration(rest, "--benchmark-deadline")?);
+        }
+        "--checkpoint-every" => {
+            config.checkpoint_every = Some(duration(rest, "--checkpoint-every")?);
+        }
         // Only the path is recorded here; the trace file is opened once, by
         // `build_telemetry`, after parsing finishes — so a repeated `--trace`
         // follows last-wins like every other flag instead of creating (and
@@ -150,6 +187,12 @@ mod tests {
             "--corpus-dir",
             "corpus",
             "--resume",
+            "--time-budget",
+            "5s",
+            "--benchmark-deadline",
+            "2m",
+            "--checkpoint-every",
+            "500ms",
             "--trace",
             "events.jsonl",
             "--quiet",
@@ -168,8 +211,61 @@ mod tests {
         assert_eq!(config.steal_workers, 8);
         assert_eq!(config.corpus_dir.as_deref(), Some(Path::new("corpus")));
         assert!(config.resume);
+        assert_eq!(config.time_budget, Some(Duration::from_secs(5)));
+        assert_eq!(config.benchmark_deadline, Some(Duration::from_secs(120)));
+        assert_eq!(config.checkpoint_every, Some(Duration::from_millis(500)));
         assert_eq!(config.trace.as_deref(), Some(Path::new("events.jsonl")));
         assert!(config.quiet);
+    }
+
+    #[test]
+    fn durations_accept_unit_suffixes_and_default_to_seconds() {
+        let (config, _) = parse(&["--time-budget", "90"]).unwrap();
+        assert_eq!(config.time_budget, Some(Duration::from_secs(90)));
+        let (config, _) = parse(&["--time-budget", "250ms"]).unwrap();
+        assert_eq!(config.time_budget, Some(Duration::from_millis(250)));
+        let (config, _) = parse(&["--benchmark-deadline", "3h"]).unwrap();
+        assert_eq!(
+            config.benchmark_deadline,
+            Some(Duration::from_secs(3 * 3600))
+        );
+    }
+
+    #[test]
+    fn zero_and_malformed_durations_are_rejected() {
+        for flag in [
+            "--time-budget",
+            "--benchmark-deadline",
+            "--checkpoint-every",
+        ] {
+            let err = parse(&[flag, "0"]).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("positive duration"), "{err}");
+            let err = parse(&[flag, "0s"]).unwrap_err();
+            assert!(err.contains("positive duration"), "{err}");
+            let err = parse(&[flag, "fast"]).unwrap_err();
+            assert!(err.contains("not a duration"), "{err}");
+            let err = parse(&[flag, "1.5s"]).unwrap_err();
+            assert!(err.contains("not a duration"), "{err}");
+            assert!(parse(&[flag]).unwrap_err().contains("missing"), "{flag}");
+        }
+    }
+
+    #[test]
+    fn duplicated_duration_flags_are_last_wins() {
+        let (config, _) = parse(&[
+            "--time-budget",
+            "5s",
+            "--benchmark-deadline",
+            "10s",
+            "--time-budget",
+            "7s",
+            "--benchmark-deadline",
+            "20s",
+        ])
+        .unwrap();
+        assert_eq!(config.time_budget, Some(Duration::from_secs(7)));
+        assert_eq!(config.benchmark_deadline, Some(Duration::from_secs(20)));
     }
 
     #[test]
@@ -291,6 +387,9 @@ mod tests {
             "--steal-workers",
             "--corpus-dir",
             "--resume",
+            "--time-budget",
+            "--benchmark-deadline",
+            "--checkpoint-every",
             "--trace",
             "--quiet",
         ] {

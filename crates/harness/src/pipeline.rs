@@ -7,9 +7,12 @@ use sct_core::{default_workers, explore, map_indexed, ExploreLimits, SharedCache
 use sct_race::{race_detection_phase, RacePhaseConfig};
 use sct_runtime::ExecConfig;
 use sctbench::{all_benchmarks, BenchmarkSpec};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Configuration of a study run.
 #[derive(Debug, Clone)]
@@ -78,6 +81,27 @@ pub struct HarnessConfig {
     /// Like [`HarnessConfig::trace`], this only steers
     /// [`crate::cli::build_telemetry`].
     pub quiet: bool,
+    /// Per-technique wall-clock budget (`--time-budget`). Checked
+    /// cooperatively at schedule boundaries, so a technique that runs out
+    /// stops between schedules with partial results and its row marked
+    /// `deadline_exceeded`. `None` (the default) leaves techniques unbounded
+    /// in time. The flag is excluded from stats equality, so a run where no
+    /// deadline fires is bit-identical to an unbudgeted run.
+    pub time_budget: Option<Duration>,
+    /// Per-benchmark wall-clock deadline (`--benchmark-deadline`). Each
+    /// technique unit starts with the time remaining until the benchmark's
+    /// deadline as its budget (combined with [`HarnessConfig::time_budget`]
+    /// by taking the minimum), so an over-deadline benchmark still reports a
+    /// row for every technique — late rows are marked `deadline_exceeded`
+    /// with whatever partial work they finished.
+    pub benchmark_deadline: Option<Duration>,
+    /// Campaign checkpoint cadence (`--checkpoint-every`): with
+    /// [`HarnessConfig::corpus_dir`] set, a background thread autosaves the
+    /// benchmark's shared trie this often — and once at teardown — so a
+    /// SIGKILLed study resumes from the last checkpoint rather than from the
+    /// previous completed benchmark. `None` disables mid-run checkpoints;
+    /// the final save when the benchmark completes always happens.
+    pub checkpoint_every: Option<Duration>,
     /// The telemetry handle every pipeline stage emits events through.
     /// `Telemetry::off()` (the default) makes each emission a no-op whose
     /// event is never even constructed, so an untraced study pays nothing.
@@ -104,8 +128,109 @@ impl Default for HarnessConfig {
             resume: false,
             trace: None,
             quiet: false,
+            time_budget: None,
+            benchmark_deadline: None,
+            checkpoint_every: Some(Duration::from_secs(30)),
             telemetry: Telemetry::off(),
         }
+    }
+}
+
+/// Background autosave of a campaign benchmark's shared trie: a thread that
+/// saves every `every` and once more when told to stop, so each campaign
+/// benchmark checkpoints at least once and a kill at any point loses at most
+/// `every` of exploration. Dropping the handle stops and joins the thread —
+/// always before the benchmark's final save, so the two never race on the
+/// artifact's temporary file.
+struct Checkpointer {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    fn spawn(
+        corpus: Corpus,
+        benchmark: String,
+        key: u64,
+        shared: Arc<SharedCache>,
+        telemetry: Telemetry,
+        every: Duration,
+    ) -> Checkpointer {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::spawn(move || loop {
+            let stopped = {
+                let (lock, signal) = &*thread_stop;
+                let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                let (guard, _) = signal
+                    .wait_timeout_while(guard, every, |stopped| !*stopped)
+                    .unwrap_or_else(|e| e.into_inner());
+                *guard
+            };
+            // Save even on the stop signal (it is the same bytes the final
+            // save is about to publish, one rename apart). A failing
+            // checkpoint is best-effort by design: the retry loop inside
+            // `save_cache` already absorbed transient errors, and a
+            // persistent one will surface from the benchmark's final save.
+            let (saved, bytes, schedules) = shared.with_live(|cache| {
+                (
+                    corpus.save_cache(&benchmark, key, cache),
+                    cache.bytes(),
+                    cache.insertions(),
+                )
+            });
+            if saved.is_ok() {
+                telemetry.emit(|| Event::CheckpointSaved {
+                    benchmark: benchmark.clone(),
+                    bytes,
+                    schedules,
+                });
+            }
+            if stopped {
+                break;
+            }
+        });
+        Checkpointer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        let (lock, signal) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        signal.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The wall-clock budget a technique unit starting `elapsed` into its
+/// benchmark gets: the smaller of the per-technique budget and the time left
+/// until the benchmark's deadline (an already-passed deadline yields a zero
+/// budget — the unit still runs and reports a `deadline_exceeded` row, it
+/// just stops at its first schedule boundary).
+fn effective_budget(config: &HarnessConfig, elapsed: Duration) -> Option<Duration> {
+    let remaining = config
+        .benchmark_deadline
+        .map(|deadline| deadline.saturating_sub(elapsed));
+    match (config.time_budget, remaining) {
+        (Some(budget), Some(remaining)) => Some(budget.min(remaining)),
+        (budget, remaining) => budget.or(remaining),
+    }
+}
+
+/// Human-readable form of a caught panic payload.
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(text) => *text,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(text) => (*text).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -306,6 +431,20 @@ pub fn run_benchmark(
         .with_shared_cache(shared.clone())
         .with_telemetry(config.telemetry.clone());
     let caching = config.cache || shared.is_some();
+    // Crash-safe checkpointing: in campaign mode, autosave the shared trie
+    // on a cadence so a SIGKILL mid-benchmark only loses the tail since the
+    // last checkpoint. Stopped (via drop) before the final save below.
+    let checkpointer = match (&corpus, &shared, config.checkpoint_every) {
+        (Some(c), Some(shared), Some(every)) => Some(Checkpointer::spawn(
+            c.clone(),
+            spec.name.to_string(),
+            key,
+            Arc::clone(shared),
+            config.telemetry.clone(),
+            every,
+        )),
+        _ => None,
+    };
     let technique_list = study_techniques(config);
     let techniques = map_indexed(technique_list.len(), config.workers, |i| {
         let t = technique_list[i];
@@ -313,9 +452,43 @@ pub fn run_benchmark(
             benchmark: spec.name.to_string(),
             technique: t.label().to_string(),
         });
-        let mut stats = explore::run_technique(&program, &exec_config, t, &limits);
+        let budget = effective_budget(config, bench_started.elapsed());
+        let unit_limits = limits.clone().with_time_budget(budget);
+        // Panic isolation: an engine blowing up must cost one row, not the
+        // study. The shared trie is recovered to its load-time baseline (the
+        // panicking unit may have died mid-insertion, and `catch_unwind`
+        // makes any torn state observable to the remaining units), and the
+        // unit reports a synthesized `engine_panic` row instead.
+        let unit = catch_unwind(AssertUnwindSafe(|| {
+            explore::run_technique(&program, &exec_config, t, &unit_limits)
+        }));
+        let mut stats = match unit {
+            Ok(stats) => stats,
+            Err(payload) => {
+                if let Some(shared) = &shared {
+                    shared.restore_baseline();
+                }
+                let panic = panic_text(payload);
+                config.telemetry.emit(|| Event::EnginePanic {
+                    benchmark: spec.name.to_string(),
+                    technique: t.label().to_string(),
+                    panic: panic.clone(),
+                });
+                let mut row = ExplorationStats::new(t.label());
+                row.engine_panic = true;
+                row
+            }
+        };
         stats.technique = t.label().to_string();
         stats.race_nanos = race_nanos;
+        if stats.deadline_exceeded {
+            config.telemetry.emit(|| Event::DeadlineExceeded {
+                benchmark: spec.name.to_string(),
+                technique: stats.technique.clone(),
+                schedules: stats.schedules,
+                budget_nanos: budget.map(|b| b.as_nanos() as u64).unwrap_or(0),
+            });
+        }
         config.telemetry.emit(|| Event::TechniqueFinish {
             benchmark: spec.name.to_string(),
             technique: stats.technique.clone(),
@@ -336,6 +509,9 @@ pub fn run_benchmark(
         }
         stats
     });
+    // Stop (and join) the checkpoint thread before the final save so the two
+    // never write the artifact's temporary file concurrently.
+    drop(checkpointer);
 
     if let (Some(c), Some(shared)) = (&corpus, &shared) {
         let (saved, records, trie_bytes) = shared.with_live(|cache| {
@@ -459,6 +635,9 @@ mod tests {
             resume: false,
             trace: None,
             quiet: false,
+            time_budget: None,
+            benchmark_deadline: None,
+            checkpoint_every: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -584,6 +763,134 @@ mod tests {
         for (s, p) in serial.benchmarks.iter().zip(&stolen.benchmarks) {
             assert_eq!(s.techniques, p.techniques, "{}", s.name);
         }
+    }
+
+    #[test]
+    fn a_zero_time_budget_yields_deadline_rows_for_every_technique() {
+        let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
+        let mut cfg = quick_config();
+        cfg.time_budget = Some(Duration::ZERO);
+        let result = run_benchmark(&spec, &cfg).unwrap();
+        assert_eq!(result.techniques.len(), 5);
+        for t in &result.techniques {
+            assert!(t.deadline_exceeded, "{} must hit the deadline", t.technique);
+            assert_eq!(t.schedules, 0, "{} stopped before schedule 1", t.technique);
+            assert!(!t.engine_panic, "{}", t.technique);
+        }
+    }
+
+    #[test]
+    fn an_already_passed_benchmark_deadline_still_reports_every_row() {
+        let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
+        let mut cfg = quick_config();
+        cfg.benchmark_deadline = Some(Duration::ZERO);
+        let result = run_benchmark(&spec, &cfg).unwrap();
+        assert_eq!(result.techniques.len(), 5);
+        assert!(result.techniques.iter().all(|t| t.deadline_exceeded));
+    }
+
+    #[test]
+    fn an_engine_panic_is_isolated_to_one_synthesized_row() {
+        use sct_core::{fault, FaultKind};
+        // twostage_bad is used by no other test in this crate, so the armed
+        // fault (scoped to the program name) cannot trip a concurrent test.
+        let spec = benchmark_by_name("CS.twostage_bad").unwrap();
+        let _fault = fault::arm(FaultKind::SchedulePanic, "twostage_bad", 1);
+        let mut cfg = quick_config();
+        // Serial technique order makes the first schedule boundary — and so
+        // the panicking unit — deterministically IPB's.
+        cfg.workers = 1;
+        let result = run_benchmark(&spec, &cfg).unwrap();
+        assert_eq!(result.techniques.len(), 5);
+        let ipb = result.technique("IPB").unwrap();
+        assert!(ipb.engine_panic, "the panicking unit must be marked");
+        assert_eq!(ipb.schedules, 0);
+        assert!(!ipb.found_bug());
+        for t in result.techniques.iter().filter(|t| t.technique != "IPB") {
+            assert!(!t.engine_panic, "{} must be unaffected", t.technique);
+            assert!(t.schedules > 0, "{} must have kept running", t.technique);
+        }
+    }
+
+    #[test]
+    fn an_engine_panic_mid_campaign_checkpoints_and_resumes_cleanly() {
+        use sct_core::{fault, FaultKind};
+        // wronglock_bad is used by no other test in this crate, so the
+        // program-name-scoped fault cannot trip a concurrent test.
+        let spec = benchmark_by_name("CS.wronglock_bad").unwrap();
+        let base =
+            std::env::temp_dir().join(format!("sct-harness-panic-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut cfg = quick_config();
+        cfg.workers = 1; // serial technique order: the panic lands in one unit
+        cfg.use_race_phase = false;
+        let sans_cache = |t: &sct_core::ExplorationStats| {
+            let mut t = t.clone();
+            t.executions = 0;
+            t.cache_hits = 0;
+            t.cache_bytes = 0;
+            t
+        };
+
+        let mut cold_cfg = cfg.clone();
+        cold_cfg.corpus_dir = Some(base.join("cold"));
+        let cold = run_benchmark(&spec, &cold_cfg).unwrap();
+        assert!(cold.techniques.iter().all(|t| !t.engine_panic));
+
+        // Detonate a few schedules past IPB's total, so the blast lands
+        // mid-campaign, after real work has already entered the shared trie.
+        let nth = cold.technique("IPB").unwrap().schedules + 5;
+        let mut fault_cfg = cfg.clone();
+        fault_cfg.corpus_dir = Some(base.join("fault"));
+        let marked = {
+            let _fault = fault::arm(FaultKind::SchedulePanic, "wronglock_bad", nth);
+            run_benchmark(&spec, &fault_cfg).unwrap()
+        };
+        let panicked = marked.techniques.iter().filter(|t| t.engine_panic).count();
+        assert_eq!(panicked, 1, "exactly one unit takes the panic");
+        for (m, c) in marked.techniques.iter().zip(&cold.techniques) {
+            assert_eq!(m.technique, c.technique);
+            if !m.engine_panic {
+                assert_eq!(sans_cache(m), sans_cache(c), "{}", m.technique);
+            }
+        }
+
+        // The campaign survived the panic: resuming from its corpus with the
+        // fault cleared reproduces the cold run's statistics.
+        let mut resumed_cfg = fault_cfg.clone();
+        resumed_cfg.resume = true;
+        let resumed = run_benchmark(&spec, &resumed_cfg).unwrap();
+        for (r, c) in resumed.techniques.iter().zip(&cold.techniques) {
+            assert!(!r.engine_panic, "{}", r.technique);
+            assert_eq!(sans_cache(r), sans_cache(c), "{}", r.technique);
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn campaign_checkpoints_fire_at_least_once_and_produce_a_loadable_trie() {
+        use sct_core::telemetry::BufferRecorder;
+        let dir =
+            std::env::temp_dir().join(format!("sct-harness-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let buffer = Arc::new(BufferRecorder::default());
+        let mut cfg = quick_config();
+        cfg.corpus_dir = Some(dir.clone());
+        cfg.checkpoint_every = Some(Duration::from_millis(1));
+        cfg.telemetry = Telemetry::new(vec![Box::new(Arc::clone(&buffer))]);
+        let spec = benchmark_by_name("CS.lazy01_bad").unwrap();
+        run_benchmark(&spec, &cfg).unwrap();
+        let checkpoints = buffer
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"type\":\"checkpoint_saved\""))
+            .count();
+        assert!(checkpoints >= 1, "the teardown checkpoint always fires");
+        // The checkpointed artifact must be a valid, resumable trie.
+        let mut resumed = cfg.clone();
+        resumed.resume = true;
+        run_benchmark(&spec, &resumed).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -133,6 +133,42 @@ pub fn experiments_markdown(results: &StudyResults) -> String {
         }
     }
 
+    // Robustness incidents: rows the fault-tolerant pipeline marked instead
+    // of aborting on. Omitted entirely for clean studies, so the section's
+    // presence is itself the signal.
+    let marked: Vec<_> = results
+        .benchmarks
+        .iter()
+        .flat_map(|b| b.techniques.iter().map(move |t| (b, t)))
+        .filter(|(_, t)| t.deadline_exceeded || t.engine_panic)
+        .collect();
+    if !marked.is_empty() {
+        let _ = writeln!(out, "\n## Robustness incidents\n");
+        let _ = writeln!(
+            out,
+            "Units that hit a wall-clock deadline or lost their engine to a panic. Their\n\
+             partial counts appear in Table 3 with the `deadline_exceeded` / `engine_panic`\n\
+             CSV columns set; every other unit of the study completed normally.\n"
+        );
+        let _ = writeln!(
+            out,
+            "| benchmark | technique | incident | schedules completed |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|");
+        for (bench, t) in marked {
+            let incident = if t.engine_panic {
+                "engine panic"
+            } else {
+                "deadline exceeded"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                bench.name, t.technique, incident, t.schedules
+            );
+        }
+    }
+
     // Raw Table 3.
     let _ = writeln!(out, "\n## Table 3 — raw measured results\n");
     let _ = writeln!(out, "```");

@@ -201,20 +201,23 @@ pub fn table3(results: &StudyResults) -> String {
 /// The two wall-clock columns come last so consumers that compare runs can
 /// keep cutting the deterministic prefix (`cut -d, -f1-22` in CI): timing is
 /// the one part of a row that legitimately differs between identical
-/// explorations.
+/// explorations. The two robustness markers (`deadline_exceeded`,
+/// `engine_panic`) sit just before them — like timing they are environmental,
+/// not properties of the search, but a marked row is exactly what a consumer
+/// filtering for clean runs needs to see.
 pub fn table3_csv(results: &StudyResults) -> String {
     let mut out = String::from(
         "id,benchmark,suite,technique,threads,max_enabled,max_scheduling_points,races,racy_locations,\
          static_candidates,static_locations,\
          bound,schedules_to_first_bug,schedules,new_schedules,buggy_schedules,diverged,\
          slept,pruned_by_sleep,complete,hit_limit,bound_exhausted,executions,cache_hits,cache_bytes,\
-         explore_nanos,race_nanos\n",
+         deadline_exceeded,engine_panic,explore_nanos,race_nanos\n",
     );
     for b in &results.benchmarks {
         for t in &b.techniques {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 b.id,
                 b.name,
                 b.suite,
@@ -240,6 +243,8 @@ pub fn table3_csv(results: &StudyResults) -> String {
                 t.executions,
                 t.cache_hits,
                 t.cache_bytes,
+                t.deadline_exceeded,
+                t.engine_panic,
                 t.explore_nanos,
                 t.race_nanos,
             );

@@ -1183,6 +1183,145 @@ fn harness_campaign_mode_persists_resumes_and_replays() {
 }
 
 // ---------------------------------------------------------------------------
+// Fault tolerance: wall-clock deadlines and crash-safe checkpoints.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn time_budgets_are_invisible_until_they_fire() {
+    // The deadline check sits at schedule boundaries, so a budget generous
+    // enough never to fire must leave every statistic bit-identical to the
+    // unbudgeted run (`ExplorationStats` equality already ignores the
+    // wall-clock fields), at every steal-worker count. A zero budget is the
+    // other extreme: the driver must stop before schedule 1, report the
+    // empty partial counts, and claim neither completion nor a
+    // schedule-limit stop — `deadline_exceeded` alone explains the row.
+    let generous = Some(std::time::Duration::from_secs(3_600));
+    let zero = Some(std::time::Duration::ZERO);
+    let techniques = [
+        Technique::Dfs,
+        Technique::IterativePreemptionBounding,
+        Technique::IterativeDelayBounding,
+        Technique::Random { seed: 11 },
+        Technique::Pct { depth: 3, seed: 11 },
+        Technique::MapleLike {
+            profiling_runs: 3,
+            seed: 11,
+        },
+    ];
+    for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        for technique in techniques {
+            for &workers in &differential_worker_counts() {
+                let base = limits(300).with_steal_workers(workers);
+                let plain = explore::run_technique(&program, &config, technique, &base);
+                let budgeted = explore::run_technique(
+                    &program,
+                    &config,
+                    technique,
+                    &base.clone().with_time_budget(generous),
+                );
+                let ctx = format!("{name}: {} with {workers} steal workers", technique.label());
+                assert!(
+                    !budgeted.deadline_exceeded,
+                    "{ctx}: a one-hour budget fired"
+                );
+                assert_eq!(
+                    plain, budgeted,
+                    "{ctx}: an unfired budget changed the search"
+                );
+
+                let starved = explore::run_technique(
+                    &program,
+                    &config,
+                    technique,
+                    &base.clone().with_time_budget(zero),
+                );
+                assert!(starved.deadline_exceeded, "{ctx}: a zero budget must fire");
+                assert_eq!(
+                    starved.schedules, 0,
+                    "{ctx}: the run must stop before schedule 1"
+                );
+                assert!(
+                    !starved.complete && !starved.hit_schedule_limit && !starved.bound_exhausted,
+                    "{ctx}: a deadline stop must not masquerade as any other stop"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_mid_run_checkpoint_resumes_to_the_cold_run_bit_for_bit() {
+    // Crash-safety oracle for the periodic autosave: a checkpoint is exactly
+    // the trie of a run truncated at the checkpoint's schedule count, so a
+    // study SIGKILLed right after one and resumed at the full budget must
+    // reproduce the cold run's terminal digest stream and statistics while
+    // executing strictly less — at every steal-worker count.
+    let worker_counts = differential_worker_counts();
+    for name in ["CS.reorder_3_bad", "CS.twostage_bad"] {
+        let spec = benchmark_by_name(name).unwrap();
+        let program = spec.program();
+        let config = ExecConfig::all_visible();
+        let key = corpus::corpus_key(name, &config);
+        for (kind, bound) in [(BoundKind::None, u32::MAX), (BoundKind::Delay, 1)] {
+            for &workers in &worker_counts {
+                let full = limits(2_000).with_steal_workers(workers);
+                let cold_shared = std::sync::Arc::new(SharedCache::of(ScheduleCache::default()));
+                let (cold_stats, cold_digests) = explore_bounded_stealing_digests(
+                    &program,
+                    &config,
+                    kind,
+                    bound,
+                    &full.clone().with_shared_cache(Some(cold_shared.clone())),
+                );
+
+                // "Kill at the checkpoint": the interior after 40 schedules,
+                // serialized exactly as the campaign autosave writes it.
+                let partial_shared = std::sync::Arc::new(SharedCache::of(ScheduleCache::default()));
+                let _ = explore_bounded_stealing_digests(
+                    &program,
+                    &config,
+                    kind,
+                    bound,
+                    &limits(40)
+                        .with_steal_workers(workers)
+                        .with_shared_cache(Some(partial_shared.clone())),
+                );
+                let checkpoint = partial_shared.with_live(|c| corpus::cache_to_bytes(c, key));
+                let loaded =
+                    corpus::cache_from_bytes(&checkpoint, key, std::path::Path::new("<mem>"))
+                        .expect("a checkpoint must load back");
+
+                let (resumed_stats, resumed_digests) = explore_bounded_stealing_digests(
+                    &program,
+                    &config,
+                    kind,
+                    bound,
+                    &full
+                        .clone()
+                        .with_shared_cache(Some(std::sync::Arc::new(SharedCache::of(loaded)))),
+                );
+                let ctx = format!("{name}: {kind:?}({bound}), {workers} steal workers");
+                assert_eq!(cold_digests, resumed_digests, "{ctx}: digest stream");
+                assert_eq!(
+                    sans_cache_counters(cold_stats.clone()),
+                    sans_cache_counters(resumed_stats.clone()),
+                    "{ctx}: stats"
+                );
+                assert!(
+                    resumed_stats.executions < cold_stats.executions,
+                    "{ctx}: the checkpoint saved nothing ({} vs {} executions)",
+                    resumed_stats.executions,
+                    cold_stats.executions
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Static analysis: the soundness oracle against the dynamic phases.
 // ---------------------------------------------------------------------------
 
